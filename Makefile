@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test bench figures race cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark per paper figure plus the ablations (see bench_test.go).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure CSV at paper scale into ./out.
+figures:
+	$(GO) run ./cmd/ecobench -out out -scale 1.0
+
+clean:
+	rm -rf out

@@ -1,0 +1,36 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dc"
+	"repro/internal/ecocloud"
+	"repro/internal/trace"
+)
+
+// dcFromWorkload builds a 400-server standard fleet and places every VM of
+// the workload through the policy's assignment procedure at t=0.
+func dcFromWorkload(b *testing.B, ws *trace.Set, pol *ecocloud.Policy) *dc.DataCenter {
+	b.Helper()
+	d := dc.New(dc.StandardFleet(400))
+	for _, vm := range ws.VMs {
+		pol.OnArrival(envFor(d), vm)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// envFor wraps a data center in a throwaway policy environment at t=1h
+// (past every grace period).
+func envFor(d *dc.DataCenter) cluster.Env {
+	return cluster.Env{Now: time.Hour, DC: d, Rec: cluster.NewRecorder(30 * time.Minute)}
+}
+
+// probeVM is a constant-demand VM used to exercise one invitation round.
+func probeVM(id int, mhz float64) *trace.VM {
+	return &trace.VM{ID: id, Start: 0, End: 1000 * time.Hour, Epoch: 1000 * time.Hour, Demand: []float64{mhz}}
+}

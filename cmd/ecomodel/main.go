@@ -1,0 +1,102 @@
+// Command ecomodel runs the §IV analysis: the assignment procedure in
+// isolation, both as a discrete-event simulation (Figure 12) and as the
+// fluid differential-equation model fed with the same lambda(t)/mu(t)
+// (Figure 13), then compares the consolidation the two predict.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/ascii"
+	"repro/internal/experiments"
+)
+
+func main() {
+	opts := experiments.DefaultAssignOnlyOptions()
+	var (
+		servers = flag.Int("servers", opts.Servers, "number of servers")
+		initial = flag.Int("initial-vms", opts.Churn.InitialVMs, "VMs preloaded at t=0")
+		arrival = flag.Float64("arrivals", opts.Churn.ArrivalPerHour, "baseline VM arrivals per hour")
+		horizon = flag.Duration("horizon", opts.Churn.Horizon, "simulated time")
+		seed    = flag.Uint64("seed", opts.Seed, "master seed")
+		exact   = flag.Bool("exact", false, "use the exact combinatorial A_s (Eq. 6-9) instead of Eq. 11")
+		outDir  = flag.String("out", "", "also write fig12/fig13 CSVs to this directory")
+	)
+	flag.Parse()
+
+	opts.Servers = *servers
+	opts.Churn.InitialVMs = *initial
+	opts.Churn.ArrivalPerHour = *arrival
+	opts.Churn.Horizon = *horizon
+	opts.Seed = *seed
+	opts.Exact = *exact
+
+	if err := run(opts, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "ecomodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(opts experiments.AssignOnlyOptions, outDir string) error {
+	res, err := experiments.AssignOnly(opts)
+	if err != nil {
+		return err
+	}
+
+	// Render active-server trajectories for both worlds on one chart.
+	n := len(res.Sim.SampleTimes)
+	hoursAxis := make([]float64, n)
+	simActive := make([]float64, n)
+	for i, t := range res.Sim.SampleTimes {
+		hoursAxis[i] = t.Hours()
+		for _, u := range res.Sim.ServerUtil[i] {
+			if u > 0 {
+				simActive[i]++
+			}
+		}
+	}
+	modelActive := make([]float64, len(res.Model.Times))
+	for i := range res.Model.Times {
+		modelActive[i] = float64(res.Model.ActiveAt(i, res.ActiveThreshold))
+	}
+	if len(modelActive) > n {
+		modelActive = modelActive[:n]
+	}
+	if err := ascii.Chart(os.Stdout, "Figs 12/13 — active servers, simulation vs fluid model",
+		hoursAxis, map[string][]float64{"simulation": simActive, "model": modelActive}, 72, 14); err != nil {
+		return err
+	}
+
+	f12, f13 := res.Fig12(), res.Fig13()
+	fmt.Println("\nSummary:")
+	for _, f := range []*experiments.Figure{f12, f13} {
+		for _, note := range f.Notes {
+			fmt.Printf("  [%s] %s\n", f.ID, note)
+		}
+	}
+
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		for _, f := range []*experiments.Figure{f12, f13} {
+			path := filepath.Join(outDir, f.ID+".csv")
+			file, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := f.WriteCSV(file); err != nil {
+				file.Close()
+				return err
+			}
+			if err := file.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+// Command ecosim runs the trace-driven two-day experiment (§III) — the run
+// behind Figures 6–11 — and renders the results as ASCII charts, optionally
+// writing the figure CSVs.
+//
+// The defaults are the paper's: 400 servers (thirds of 4/6/8 cores at
+// 2 GHz), 6,000 VMs, 48 hours, Ta=0.90 p=3 Tl=0.50 Th=0.95 alpha=beta=0.25.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/ascii"
+	"repro/internal/cluster"
+	"repro/internal/dc"
+	"repro/internal/ecocloud"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+func main() {
+	opts := experiments.DefaultDailyOptions()
+	var (
+		servers = flag.Int("servers", opts.Servers, "number of servers")
+		vms     = flag.Int("vms", opts.NumVMs, "number of VMs")
+		horizon = flag.Duration("horizon", opts.Horizon, "simulated time")
+		seed    = flag.Uint64("seed", opts.Seed, "master seed")
+		ta      = flag.Float64("ta", opts.Eco.Ta, "assignment threshold Ta")
+		p       = flag.Float64("p", opts.Eco.P, "assignment shape p")
+		tl      = flag.Float64("tl", opts.Eco.Tl, "lower migration threshold Tl")
+		th      = flag.Float64("th", opts.Eco.Th, "upper migration threshold Th")
+		alpha   = flag.Float64("alpha", opts.Eco.Alpha, "low-migration shape alpha")
+		beta    = flag.Float64("beta", opts.Eco.Beta, "high-migration shape beta")
+		outDir  = flag.String("out", "", "also write figure CSVs to this directory")
+		plDir   = flag.String("planetlab", "", "load a real CoMon/PlanetLab archive directory (one file per VM) instead of synthesizing")
+		plRef   = flag.Float64("planetlab-ref-mhz", 2400, "host capacity the PlanetLab percentages refer to")
+	)
+	flag.Parse()
+
+	opts.Servers = *servers
+	opts.NumVMs = *vms
+	opts.Horizon = *horizon
+	opts.Seed = *seed
+	opts.Eco.Ta = *ta
+	opts.Eco.P = *p
+	opts.Eco.Tl = *tl
+	opts.Eco.Th = *th
+	opts.Eco.Alpha = *alpha
+	opts.Eco.Beta = *beta
+
+	if err := run(opts, *outDir, *plDir, *plRef); err != nil {
+		fmt.Fprintln(os.Stderr, "ecosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(opts experiments.DailyOptions, outDir, plDir string, plRef float64) error {
+	start := time.Now()
+	var res *experiments.DailyResult
+	var err error
+	if plDir != "" {
+		res, err = runPlanetLab(opts, plDir, plRef)
+	} else {
+		res, err = experiments.Daily(opts)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ecosim: %d servers, %v simulated in %v\n\n",
+		opts.Servers, opts.Horizon, time.Since(start).Round(time.Millisecond))
+
+	hours := func(s *metrics.Series) []float64 {
+		out := make([]float64, s.Len())
+		for i, t := range s.T {
+			out[i] = t.Hours()
+		}
+		return out
+	}
+	r := res.Run
+	w := os.Stdout
+	if err := ascii.Chart(w, "Fig 7 — active servers", hours(r.ActiveServers),
+		map[string][]float64{"active": r.ActiveServers.V}, 72, 12); err != nil {
+		return err
+	}
+	if err := ascii.Chart(w, "\nFig 8 — power (W)", hours(r.PowerW),
+		map[string][]float64{"power_w": r.PowerW.V}, 72, 12); err != nil {
+		return err
+	}
+	if err := ascii.Chart(w, "\nFig 9 — migrations per hour", hours(r.LowMigrations),
+		map[string][]float64{"low": r.LowMigrations.V, "high": r.HighMigrations.V}, 72, 12); err != nil {
+		return err
+	}
+	if err := ascii.Chart(w, "\nFig 10 — server switches per hour", hours(r.Activations),
+		map[string][]float64{"activations": r.Activations.V, "hibernations": r.Hibernations.V}, 72, 12); err != nil {
+		return err
+	}
+	if err := ascii.Chart(w, "\nFig 11 — % time of CPU over-demand", hours(r.OverDemandPct),
+		map[string][]float64{"overdemand_pct": r.OverDemandPct.V}, 72, 10); err != nil {
+		return err
+	}
+	if err := ascii.Chart(w, "\nFig 6 (reference) — overall load", hours(r.OverallLoad),
+		map[string][]float64{"overall_load": r.OverallLoad.V}, 72, 10); err != nil {
+		return err
+	}
+
+	fmt.Println("\nSummary:")
+	for _, f := range res.Figures() {
+		for _, n := range f.Notes {
+			fmt.Printf("  [%s] %s\n", f.ID, n)
+		}
+	}
+
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		for _, f := range res.Figures() {
+			path := filepath.Join(outDir, f.ID+".csv")
+			file, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := f.WriteCSV(file); err != nil {
+				file.Close()
+				return err
+			}
+			if err := file.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	return nil
+}
+
+// runPlanetLab runs the daily scenario on a real CoMon/PlanetLab archive
+// instead of the synthetic substitute. The horizon is capped to the archive
+// length.
+func runPlanetLab(opts experiments.DailyOptions, dir string, refMHz float64) (*experiments.DailyResult, error) {
+	ws, err := trace.ReadPlanetLabDir(os.DirFS(dir), ".", refMHz)
+	if err != nil {
+		return nil, err
+	}
+	horizon := opts.Horizon
+	if len(ws.VMs) > 0 && ws.VMs[0].End < horizon {
+		horizon = ws.VMs[0].End
+		fmt.Printf("ecosim: horizon capped to the archive length %v\n", horizon)
+	}
+	pol, err := ecocloud.New(opts.Eco, opts.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	run, err := cluster.Run(cluster.RunConfig{
+		Specs:            dc.StandardFleet(opts.Servers),
+		Workload:         ws,
+		Horizon:          horizon,
+		ControlInterval:  opts.Control,
+		SampleInterval:   opts.Sample,
+		PowerModel:       opts.Power,
+		RecordServerUtil: true,
+	}, pol)
+	if err != nil {
+		return nil, err
+	}
+	return &experiments.DailyResult{Run: run, Workload: ws, Servers: opts.Servers, TaForBound: opts.Eco.Ta}, nil
+}

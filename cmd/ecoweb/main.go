@@ -1,0 +1,30 @@
+// Command ecoweb serves an interactive dashboard for the two-day
+// experiment: pick fleet size, workload, horizon and the ecoCloud
+// parameters in a form, get the full inline-SVG report back. Everything
+// runs in-process; a paper-scale run takes about a second.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/web"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	h := web.New(web.DefaultLimits())
+	srv := &http.Server{
+		Addr:         *addr,
+		Handler:      h,
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 120 * time.Second, // a full-scale run takes a while
+	}
+	fmt.Printf("ecoweb: listening on http://%s\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,99 @@
+// Command tracegen synthesizes a PlanetLab-like VM workload (the CoMon
+// substitute described in DESIGN.md), writes it as CSV, and prints the
+// Fig. 4 / Fig. 5 characterization histograms so the calibration can be
+// eyeballed against the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/ascii"
+	"repro/internal/trace"
+)
+
+func main() {
+	def := trace.DefaultGenConfig()
+	var (
+		numVMs  = flag.Int("vms", def.NumVMs, "number of VMs")
+		horizon = flag.Duration("horizon", def.Horizon, "trace length")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		outPath = flag.String("o", "", "write the trace set CSV here ('-' for stdout)")
+		stats   = flag.Bool("stats", true, "print Fig. 4/5 histograms")
+	)
+	flag.Parse()
+
+	cfg := def
+	cfg.NumVMs = *numVMs
+	cfg.Horizon = *horizon
+
+	if err := run(cfg, *seed, *outPath, *stats); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg trace.GenConfig, seed uint64, outPath string, stats bool) error {
+	set, err := trace.Generate(cfg, seed)
+	if err != nil {
+		return err
+	}
+
+	if stats {
+		h4 := set.AvgUtilHistogram(20)
+		centers := make([]float64, h4.Bins())
+		freqs := make([]float64, h4.Bins())
+		for i := 0; i < h4.Bins(); i++ {
+			centers[i], freqs[i] = h4.BinCenter(i), h4.Freq(i)
+		}
+		if err := ascii.Histogram(os.Stdout, "Fig 4 — average CPU utilization of the VMs (%)", centers, freqs, 48); err != nil {
+			return err
+		}
+		fmt.Printf("  under 20%%: %.3f, above 50%%: %.4f\n\n", h4.FractionWithin(0, 20), h4.FractionWithin(50, 100))
+
+		h5 := set.DeviationHistogram(32)
+		centers = centers[:0]
+		freqs = freqs[:0]
+		for i := 0; i < h5.Bins(); i++ {
+			centers = append(centers, h5.BinCenter(i))
+			freqs = append(freqs, h5.Freq(i))
+		}
+		if err := ascii.Histogram(os.Stdout, "Fig 5 — deviation from the per-VM average (%)", centers, freqs, 48); err != nil {
+			return err
+		}
+		fmt.Printf("  within ±10%%: %.3f (paper: ~94%%)\n", h5.FractionWithin(-10, 10))
+
+		total := 0.0
+		for h := time.Duration(0); h < cfg.Horizon; h += time.Hour {
+			total += set.TotalDemandAt(h)
+		}
+		hoursCount := float64(cfg.Horizon / time.Hour)
+		if hoursCount > 0 {
+			fmt.Printf("  mean aggregate demand: %.0f MHz (%.1f%% of a 400-server standard fleet)\n",
+				total/hoursCount, 100*total/hoursCount/4_804_000)
+		}
+	}
+
+	switch outPath {
+	case "":
+		return nil
+	case "-":
+		return set.WriteCSV(os.Stdout)
+	default:
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		if err := set.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d VM traces to %s\n", len(set.VMs), outPath)
+		return nil
+	}
+}

@@ -1,0 +1,53 @@
+// Baselines: run ecoCloud head-to-head against the centralized power-aware
+// Best Fit Decreasing reallocator (Beloglazov-style), First Fit Decreasing,
+// and the no-consolidation floor, all on the identical workload and fleet,
+// and print the comparison table the abstract's claim rests on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "fraction of the paper's 400 servers / 6000 VMs")
+	horizon := flag.Duration("horizon", 24*time.Hour, "simulated time")
+	seed := flag.Uint64("seed", 1, "master seed")
+	flag.Parse()
+
+	opts := experiments.DefaultComparisonOptions()
+	opts.Seed = *seed
+	opts.Horizon = *horizon
+	opts.Servers = int(float64(opts.Servers) * *scale)
+	opts.NumVMs = int(float64(opts.NumVMs) * *scale)
+	if opts.Servers < 3 {
+		log.Fatalf("scale %v too small", *scale)
+	}
+
+	fmt.Printf("comparing policies on %d servers / %d VMs over %v\n\n",
+		opts.Servers, opts.NumVMs, opts.Horizon)
+	res, err := experiments.Comparison(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %10s %12s %12s %12s %10s %12s %6s\n",
+		"policy", "energy kWh", "mean active", "migrations", "peak mig/h", "max batch", "overload %", "sat")
+	for _, name := range res.Order {
+		r := res.Results[name]
+		fmt.Printf("%-10s %10.1f %12.1f %12d %12.0f %10d %12.5f %6d\n",
+			name, r.EnergyKWh, r.MeanActiveServers,
+			r.TotalLowMigrations+r.TotalHighMigrations,
+			r.MaxMigrationsPerHour, r.MaxConcurrentMigrations,
+			100*r.VMOverloadTimeFrac, r.Saturations)
+	}
+
+	fmt.Println()
+	for _, n := range res.Figure().Notes {
+		fmt.Println("  " + n)
+	}
+}

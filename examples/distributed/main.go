@@ -1,0 +1,57 @@
+// Distributed: the assignment procedure as the actual message protocol of
+// the paper's Fig. 1 — INVITE broadcast, ACCEPT/REJECT replies, ASSIGN —
+// running on a simulated 10 GbE fabric. Prints the footnote-1 scalability
+// table: wire messages, bytes and placement latency per assignment as the
+// fleet grows, for broadcast vs group invitations vs random subsets vs the
+// silent-reject variant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	placements := flag.Int("placements", 200, "placements measured per configuration")
+	flag.Parse()
+
+	opts := experiments.DefaultScalabilityOptions()
+	opts.Placements = *placements
+
+	fmt.Printf("protocol scalability: %d placements per point, fleets %v\n\n",
+		opts.Placements, opts.FleetSizes)
+	points, err := experiments.Scalability(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Variant-major order reads better in a table.
+	sort.SliceStable(points, func(i, j int) bool {
+		if points[i].Variant != points[j].Variant {
+			return points[i].Variant < points[j].Variant
+		}
+		return points[i].Servers < points[j].Servers
+	})
+
+	fmt.Printf("%-14s %8s %10s %12s %14s %14s\n",
+		"variant", "servers", "msgs/VM", "bytes/VM", "mean latency", "max latency")
+	last := ""
+	for _, p := range points {
+		if p.Variant != last {
+			fmt.Println()
+			last = p.Variant
+		}
+		fmt.Printf("%-14s %8d %10.1f %12.0f %14v %14v\n",
+			p.Variant, p.Servers, p.MsgsPerPlacement, p.BytesPerPlacement,
+			p.MeanLatency, p.MaxLatency)
+	}
+
+	fmt.Println("\nReading the table against the paper's claims:")
+	fmt.Println("  - broadcast reply-all cost grows linearly with the fleet (the messages are")
+	fmt.Println("    tiny and the fabric supports hardware broadcast, footnote 1);")
+	fmt.Println("  - group/subset invitations keep per-placement cost flat at any scale;")
+	fmt.Println("  - silent-reject trades a fixed decision window for O(acceptors) replies.")
+}

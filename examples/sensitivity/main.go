@@ -1,0 +1,53 @@
+// Sensitivity: regenerate the data behind the paper's §III sensitivity
+// remarks — how the migration thresholds (Tl, Th) and shapes (alpha, beta)
+// move consolidation quality, migration volume and QoS. Each sweep point is
+// a full simulation on the shared workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.25, "fraction of the sweep's 100 servers / 1500 VMs")
+	seed := flag.Uint64("seed", 1, "master seed")
+	flag.Parse()
+
+	opts := experiments.DefaultSensitivityOptions()
+	opts.Seed = *seed
+	opts.Servers = int(float64(opts.Servers) * *scale)
+	opts.NumVMs = int(float64(opts.NumVMs) * *scale)
+	if opts.Servers < 3 {
+		log.Fatalf("scale %v too small", *scale)
+	}
+
+	fmt.Printf("sensitivity sweep on %d servers / %d VMs over %v (base: Ta=%.2f p=%.0f Tl=%.2f Th=%.2f a=b=%.2f)\n\n",
+		opts.Servers, opts.NumVMs, opts.Horizon,
+		opts.Base.Ta, opts.Base.P, opts.Base.Tl, opts.Base.Th, opts.Base.Alpha)
+	points, err := experiments.Sensitivity(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s %7s %12s %12s %14s %11s %11s\n",
+		"param", "value", "mean active", "active util", "frac u<0.4", "migrations", "overload %")
+	last := ""
+	for _, p := range points {
+		if p.Param != last {
+			fmt.Println()
+			last = p.Param
+		}
+		fmt.Printf("%-12s %7.2f %12.1f %12.3f %14.3f %11d %11.4f\n",
+			p.Param, p.Value, p.MeanActive, p.MeanActiveUtil,
+			p.FracActiveUnder, p.Migrations, p.OverloadPct)
+	}
+
+	fmt.Println("\nPaper's findings to check against the table:")
+	fmt.Println("  1. Th below Ta (0.85 row) wastes servers: lower active utilization, more active machines.")
+	fmt.Println("  2. Tl should keep active servers above ~40% utilization (watch frac u<0.4 as Tl moves).")
+	fmt.Println("  3. alpha/beta trade migration volume against time spent outside the target band.")
+}

@@ -1,0 +1,343 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dc"
+	"repro/internal/trace"
+)
+
+func constVM(id int, mhz float64) *trace.VM {
+	return &trace.VM{ID: id, Start: 0, End: 1000 * time.Hour, Epoch: 1000 * time.Hour, Demand: []float64{mhz}}
+}
+
+func newEnv(d *dc.DataCenter, now time.Duration) cluster.Env {
+	return cluster.Env{Now: now, DC: d, Rec: cluster.NewRecorder(30 * time.Minute)}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Upper = 0 },
+		func(c *Config) { c.Upper = 1.5 },
+		func(c *Config) { c.Lower = -0.1 },
+		func(c *Config) { c.Lower = c.Upper },
+		func(c *Config) { c.Power = dc.PowerModel{} },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := NewBFD(cfg); err == nil {
+			t.Errorf("bad config %d accepted by BFD", i)
+		}
+		if _, err := NewFFD(cfg); err == nil {
+			t.Errorf("bad config %d accepted by FFD", i)
+		}
+	}
+}
+
+func TestBFDArrivalWakesWhenEmpty(t *testing.T) {
+	d := dc.New(dc.UniformFleet(3, 6, 2000))
+	p, err := NewBFD(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv(d, 0)
+	p.OnArrival(env, constVM(1, 500))
+	if d.ActiveCount() != 1 {
+		t.Fatalf("active = %d, want 1", d.ActiveCount())
+	}
+	if d.NumPlaced() != 1 {
+		t.Fatal("VM not placed")
+	}
+}
+
+func TestBFDPacksOntoFewestServers(t *testing.T) {
+	d := dc.New(dc.UniformFleet(5, 6, 2000)) // 12000 MHz each
+	p, err := NewBFD(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv(d, 0)
+	// 10 VMs of 1000 MHz: fits easily on one server (10000/12000 = 0.83 < 0.9).
+	for i := 0; i < 10; i++ {
+		p.OnArrival(env, constVM(i, 1000))
+	}
+	if d.ActiveCount() != 1 {
+		t.Fatalf("BFD spread over %d servers, want 1", d.ActiveCount())
+	}
+}
+
+func TestBFDRespectsUpperThreshold(t *testing.T) {
+	d := dc.New(dc.UniformFleet(3, 6, 2000))
+	p, err := NewBFD(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv(d, 0)
+	// 12 x 1000 MHz = 12000: one server would be at 1.0 > 0.9, so two needed.
+	for i := 0; i < 12; i++ {
+		p.OnArrival(env, constVM(i, 1000))
+	}
+	if d.ActiveCount() != 2 {
+		t.Fatalf("active = %d, want 2", d.ActiveCount())
+	}
+	for _, s := range d.Servers {
+		if s.State() == dc.Active && s.UtilizationAt(0) > 0.9+1e-9 {
+			t.Fatalf("server %d above Upper: %v", s.ID, s.UtilizationAt(0))
+		}
+	}
+}
+
+func TestBFDPrefersLargerServerPowerDelta(t *testing.T) {
+	// Power delta = Peak*(1-idle)*d/cap: the 8-core box is the best fit.
+	d := dc.New([]dc.Spec{{Cores: 4, CoreMHz: 2000}, {Cores: 8, CoreMHz: 2000}})
+	p, err := NewBFD(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv(d, 0)
+	if err := d.Activate(d.Servers[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Activate(d.Servers[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	p.OnArrival(env, constVM(1, 1000))
+	if host, _ := d.HostOf(1); host != d.Servers[1] {
+		t.Fatal("BFD did not pick the minimal power-increase server")
+	}
+}
+
+func TestFFDPicksFirstFit(t *testing.T) {
+	d := dc.New(dc.UniformFleet(3, 6, 2000))
+	p, err := NewFFD(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv(d, 0)
+	if err := d.Activate(d.Servers[1], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Activate(d.Servers[2], 0); err != nil {
+		t.Fatal(err)
+	}
+	p.OnArrival(env, constVM(1, 1000))
+	if host, _ := d.HostOf(1); host != d.Servers[1] {
+		t.Fatal("FFD did not pick the first feasible server")
+	}
+}
+
+func TestControlDrainsUnderloadedServer(t *testing.T) {
+	d := dc.New(dc.UniformFleet(3, 6, 2000))
+	p, err := NewBFD(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv(d, 0)
+	a, b := d.Servers[0], d.Servers[1]
+	if err := d.Activate(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Activate(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	// a: u = 0.25 (underloaded); b: u = 0.60.
+	if err := d.Place(constVM(1, 1500), a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Place(constVM(2, 1500), a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Place(constVM(3, 7200), b); err != nil {
+		t.Fatal(err)
+	}
+	p.OnControl(env)
+	if a.State() != dc.Hibernated {
+		t.Fatalf("underloaded server not drained and hibernated (u=%v, vms=%d)", a.UtilizationAt(0), a.NumVMs())
+	}
+	if b.NumVMs() != 3 {
+		t.Fatalf("destination has %d VMs, want 3", b.NumVMs())
+	}
+	if got := env.Rec.MigrationCount(cluster.MigrationLow); got != 2 {
+		t.Fatalf("low migrations = %d, want 2", got)
+	}
+}
+
+func TestControlDrainCancelledWhenNothingFits(t *testing.T) {
+	d := dc.New(dc.UniformFleet(2, 6, 2000))
+	p, err := NewBFD(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv(d, 0)
+	a, b := d.Servers[0], d.Servers[1]
+	if err := d.Activate(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Activate(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	// a underloaded with two VMs; b too full to take both (0.8 + 0.25 > 0.9).
+	if err := d.Place(constVM(1, 1500), a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Place(constVM(2, 1500), a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Place(constVM(3, 9600), b); err != nil {
+		t.Fatal(err)
+	}
+	p.OnControl(env)
+	// One VM fits (0.8+0.125=0.925>0.9 actually doesn't)... verify drain
+	// cancelled: both VMs still on a.
+	if a.NumVMs() != 2 {
+		t.Fatalf("drain not cancelled: %d VMs left on source", a.NumVMs())
+	}
+	if got := env.Rec.MigrationCount(cluster.MigrationLow); got != 0 {
+		t.Fatalf("cancelled drain recorded %d migrations", got)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControlRelievesOverload(t *testing.T) {
+	d := dc.New(dc.UniformFleet(3, 6, 2000))
+	p, err := NewBFD(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newEnv(d, 0)
+	a := d.Servers[0]
+	if err := d.Activate(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	// a: u = 1.05 with mixed VM sizes.
+	for i, mhz := range []float64{6000, 4000, 1600, 1000} {
+		if err := d.Place(constVM(i, mhz), a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.OnControl(env)
+	if u := a.UtilizationAt(0); u > 0.9+1e-9 {
+		t.Fatalf("overload not relieved: u = %v", u)
+	}
+	if env.Rec.MigrationCount(cluster.MigrationHigh) == 0 {
+		t.Fatal("no high migration recorded")
+	}
+	// Minimization of migrations: the 1600 MHz VM alone covers the 1800 MHz
+	// excess? No — smallest sufficient is 4000? excess = (1.05-0.9)*12000 =
+	// 1800; smallest VM >= 1800 is 4000. One migration should suffice.
+	if got := env.Rec.MigrationCount(cluster.MigrationHigh); got != 1 {
+		t.Fatalf("high migrations = %d, want 1 (MM heuristic)", got)
+	}
+}
+
+func TestOverloadPicksMinimal(t *testing.T) {
+	d := dc.New(dc.UniformFleet(1, 6, 2000))
+	cfg := DefaultConfig()
+	p, err := NewBFD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Servers[0]
+	if err := d.Activate(s, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Demand 13200 = u 1.1; excess = 2400. VMs: 3000,3000,2400,2400,2400.
+	for i, mhz := range []float64{3000, 3000, 2400, 2400, 2400} {
+		if err := d.Place(constVM(i, mhz), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	picks := p.overloadPicks(s, 0)
+	if len(picks) != 1 {
+		t.Fatalf("picks = %d, want 1", len(picks))
+	}
+	if picks[0].demand != 2400 {
+		t.Fatalf("picked %v MHz, want the smallest sufficient 2400", picks[0].demand)
+	}
+}
+
+func TestOverloadPicksFallbackToLargest(t *testing.T) {
+	d := dc.New(dc.UniformFleet(1, 6, 2000))
+	p, err := NewBFD(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Servers[0]
+	if err := d.Activate(s, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Excess 3600, all VMs 1500: no single VM suffices; take largest
+	// repeatedly (3 x 1500 = 4500 >= 3600).
+	for i := 0; i < 10; i++ {
+		if err := d.Place(constVM(i, 1500), s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	picks := p.overloadPicks(s, 0)
+	if len(picks) != 3 {
+		t.Fatalf("picks = %d, want 3", len(picks))
+	}
+}
+
+func TestAllOnNeverHibernates(t *testing.T) {
+	d := dc.New(dc.UniformFleet(4, 6, 2000))
+	p := &AllOn{}
+	env := newEnv(d, 0)
+	for i := 0; i < 8; i++ {
+		p.OnArrival(env, constVM(i, 500))
+	}
+	if d.ActiveCount() != 4 {
+		t.Fatalf("active = %d, want the whole fleet", d.ActiveCount())
+	}
+	p.OnControl(env)
+	if d.ActiveCount() != 4 {
+		t.Fatal("AllOn hibernated servers")
+	}
+	// Load balancing: each server got 2 VMs.
+	for _, s := range d.Servers {
+		if s.NumVMs() != 2 {
+			t.Fatalf("server %d has %d VMs, want 2", s.ID, s.NumVMs())
+		}
+	}
+}
+
+func TestCentralizedDeterministic(t *testing.T) {
+	run := func() []int {
+		d := dc.New(dc.StandardFleet(9))
+		p, err := NewBFD(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := newEnv(d, 0)
+		for i := 0; i < 40; i++ {
+			env.Now = time.Duration(i) * time.Minute
+			p.OnArrival(env, constVM(i, 300+float64(i%5)*700))
+			if i%7 == 6 {
+				p.OnControl(env)
+			}
+		}
+		sig := make([]int, 40)
+		for i := range sig {
+			if s, ok := d.HostOf(i); ok {
+				sig[i] = s.ID
+			} else {
+				sig[i] = -1
+			}
+		}
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return sig
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("BFD placement of VM %d differs across identical runs", i)
+		}
+	}
+}

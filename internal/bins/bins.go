@@ -1,0 +1,239 @@
+// Package bins provides offline bin-packing bounds for the consolidation
+// problem the paper reduces to ("the problem of optimally mapping VMs to
+// servers can be reduced to the bin packing problem ... known to be
+// NP-hard", §V). The cluster experiments use these to calibrate what
+// "theoretical minimum" means beyond the naive capacity bound:
+//
+//   - LowerBound: the classic L2 (Martello–Toth) bound specialized to
+//     uniform bins — never above the optimum;
+//   - FFD: First Fit Decreasing — never below the optimum, and within
+//     11/9·OPT + 6/9 of it;
+//   - Exact: branch and bound for small instances — the optimum itself.
+//
+// Items are VM demands, bins are server capacity × Ta (the packing target
+// utilization). Heterogeneous fleets are handled by FFD and Exact directly;
+// the L2 bound uses the largest capacity (staying a valid lower bound).
+package bins
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Problem is one packing instance: item sizes and bin capacities. All
+// values must be positive; items larger than every bin make the instance
+// infeasible.
+type Problem struct {
+	Items []float64 // e.g. VM CPU demands in MHz
+	Bins  []float64 // usable capacity per server (capacity × Ta), sorted or not
+}
+
+// Validate reports whether the instance is well-formed and feasible.
+func (p Problem) Validate() error {
+	if len(p.Bins) == 0 {
+		return fmt.Errorf("bins: no bins")
+	}
+	maxBin := 0.0
+	for _, b := range p.Bins {
+		if b <= 0 {
+			return fmt.Errorf("bins: non-positive bin %v", b)
+		}
+		if b > maxBin {
+			maxBin = b
+		}
+	}
+	for _, it := range p.Items {
+		if it <= 0 {
+			return fmt.Errorf("bins: non-positive item %v", it)
+		}
+		if it > maxBin {
+			return fmt.Errorf("bins: item %v exceeds every bin (max %v)", it, maxBin)
+		}
+	}
+	return nil
+}
+
+// LowerBound returns a valid lower bound on the number of bins needed:
+// max of the capacity bound ceil(sum/maxBin) and the L2 counting bound with
+// the largest bin size. It never exceeds the optimum.
+func LowerBound(p Problem) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if len(p.Items) == 0 {
+		return 0, nil
+	}
+	c := 0.0
+	for _, b := range p.Bins {
+		if b > c {
+			c = b
+		}
+	}
+	sum := 0.0
+	for _, it := range p.Items {
+		sum += it
+	}
+	capacityBound := int((sum + c - 1e-9) / c) // ceil with tolerance
+	if float64(capacityBound)*c < sum-1e-9 {
+		capacityBound++
+	}
+
+	// L2: for a threshold t in (0, c/2], items > c-t each need their own
+	// bin; items in [t, c-t] can pair at most with the large ones. Candidate
+	// thresholds: min(it, c-it) for every item, plus c/2 itself (the value
+	// that classifies every item above half capacity as "large").
+	items := append([]float64(nil), p.Items...)
+	sort.Float64s(items)
+	candidates := make([]float64, 0, len(items)+1)
+	for _, it := range items {
+		t := it
+		if c-it < t {
+			t = c - it
+		}
+		if t > 0 && t <= c/2 {
+			candidates = append(candidates, t)
+		}
+	}
+	candidates = append(candidates, c/2)
+	best := capacityBound
+	for _, t := range candidates {
+		large := 0    // > c - t: cannot share with anything >= t
+		medium := 0.0 // in [t, c-t]: total size
+		spare := 0.0  // leftover room in the large bins for medium items
+		for _, it := range items {
+			switch {
+			case it > c-t:
+				large++
+				spare += c - it
+			case it >= t:
+				medium += it
+			}
+		}
+		need := large
+		if medium > spare {
+			extra := int((medium - spare + c - 1e-9) / c)
+			if float64(extra)*c < medium-spare-1e-9 {
+				extra++
+			}
+			need += extra
+		}
+		if need > best {
+			best = need
+		}
+	}
+	if best > len(p.Items) {
+		best = len(p.Items)
+	}
+	return best, nil
+}
+
+// FFD packs with First Fit Decreasing over the given bins (largest bins
+// first) and returns the number of bins used and the assignment
+// (item index -> bin index). It is an upper bound on the optimum.
+func FFD(p Problem) (used int, assignment []int, err error) {
+	if err := p.Validate(); err != nil {
+		return 0, nil, err
+	}
+	type bin struct {
+		idx  int
+		cap  float64
+		free float64
+	}
+	bs := make([]bin, len(p.Bins))
+	for i, c := range p.Bins {
+		bs[i] = bin{idx: i, cap: c, free: c}
+	}
+	sort.SliceStable(bs, func(i, j int) bool { return bs[i].cap > bs[j].cap })
+
+	order := make([]int, len(p.Items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return p.Items[order[a]] > p.Items[order[b]] })
+
+	assignment = make([]int, len(p.Items))
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	usedSet := map[int]bool{}
+	for _, it := range order {
+		size := p.Items[it]
+		placed := false
+		for b := range bs {
+			if bs[b].free >= size-1e-12 {
+				bs[b].free -= size
+				assignment[it] = bs[b].idx
+				usedSet[bs[b].idx] = true
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return 0, nil, fmt.Errorf("bins: FFD cannot place item %v (fleet too small)", size)
+		}
+	}
+	return len(usedSet), assignment, nil
+}
+
+// Exact returns the optimal number of bins by branch and bound. It is
+// intended for small instances (≤ ~20 items); larger inputs return an
+// error rather than running for hours.
+func Exact(p Problem) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if len(p.Items) == 0 {
+		return 0, nil
+	}
+	if len(p.Items) > 20 {
+		return 0, fmt.Errorf("bins: Exact limited to 20 items, got %d", len(p.Items))
+	}
+	items := append([]float64(nil), p.Items...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(items)))
+	caps := append([]float64(nil), p.Bins...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(caps)))
+
+	lb, err := LowerBound(p)
+	if err != nil {
+		return 0, err
+	}
+	ubUsed, _, err := FFD(p)
+	if err != nil {
+		return 0, err
+	}
+	if lb == ubUsed {
+		return lb, nil
+	}
+
+	best := ubUsed
+	free := make([]float64, len(caps))
+	var rec func(i, used int)
+	rec = func(i, used int) {
+		if used >= best {
+			return
+		}
+		if i == len(items) {
+			best = used
+			return
+		}
+		size := items[i]
+		// Try existing (opened) bins; skip symmetric equal-free bins.
+		seen := map[float64]bool{}
+		for b := 0; b < used; b++ {
+			if free[b] >= size-1e-12 && !seen[free[b]] {
+				seen[free[b]] = true
+				free[b] -= size
+				rec(i+1, used)
+				free[b] += size
+			}
+		}
+		// Open the next bin (bins sorted descending: deterministic order).
+		if used < len(caps) && caps[used] >= size-1e-12 {
+			free[used] = caps[used] - size
+			rec(i+1, used+1)
+			free[used] = 0
+		}
+	}
+	rec(0, 0)
+	return best, nil
+}

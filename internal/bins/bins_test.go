@@ -1,0 +1,216 @@
+package bins
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func uniform(n int, c float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+func TestValidate(t *testing.T) {
+	cases := []Problem{
+		{Items: []float64{1}, Bins: nil},
+		{Items: []float64{1}, Bins: []float64{0}},
+		{Items: []float64{0}, Bins: []float64{1}},
+		{Items: []float64{-1}, Bins: []float64{1}},
+		{Items: []float64{2}, Bins: []float64{1}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	ok := Problem{Items: []float64{1, 0.5}, Bins: uniform(3, 1)}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerBoundCapacity(t *testing.T) {
+	// 10 items of 0.4 into bins of 1.0: sum = 4 => at least 4 bins.
+	p := Problem{Items: uniform(10, 0.4), Bins: uniform(10, 1)}
+	lb, err := LowerBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 4 {
+		t.Fatalf("lower bound = %d, want 4", lb)
+	}
+}
+
+func TestLowerBoundL2BeatsCapacity(t *testing.T) {
+	// 6 items of 0.6: capacity bound = ceil(3.6) = 4, but no two items
+	// share a bin, so the true bound is 6. L2 must find it.
+	p := Problem{Items: uniform(6, 0.6), Bins: uniform(10, 1)}
+	lb, err := LowerBound(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != 6 {
+		t.Fatalf("lower bound = %d, want 6 (L2)", lb)
+	}
+}
+
+func TestLowerBoundEmpty(t *testing.T) {
+	lb, err := LowerBound(Problem{Bins: uniform(3, 1)})
+	if err != nil || lb != 0 {
+		t.Fatalf("empty instance: %d, %v", lb, err)
+	}
+}
+
+func TestFFDSimple(t *testing.T) {
+	// Items 0.6,0.6,0.4,0.4 into unit bins: FFD gives 2 bins (0.6+0.4 twice).
+	p := Problem{Items: []float64{0.6, 0.4, 0.6, 0.4}, Bins: uniform(4, 1)}
+	used, assign, err := FFD(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 2 {
+		t.Fatalf("FFD used %d bins, want 2", used)
+	}
+	// Assignment must respect capacities.
+	load := map[int]float64{}
+	for i, b := range assign {
+		if b < 0 {
+			t.Fatalf("item %d unassigned", i)
+		}
+		load[b] += p.Items[i]
+	}
+	for b, l := range load {
+		if l > p.Bins[b]+1e-9 {
+			t.Fatalf("bin %d overfull: %v", b, l)
+		}
+	}
+}
+
+func TestFFDHeterogeneousBins(t *testing.T) {
+	// One big item only fits the big bin; the small ones slot in after it.
+	p := Problem{Items: []float64{8, 2, 2}, Bins: []float64{4, 10, 4}}
+	used, assign, err := FFD(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != 2 { // 10-bin holds 8+2, one 4-bin holds the last 2
+		t.Fatalf("used = %d, want 2", used)
+	}
+	if assign[0] != 1 {
+		t.Fatalf("big item in bin %d, want 1 (the 10-capacity bin)", assign[0])
+	}
+}
+
+func TestFFDInfeasible(t *testing.T) {
+	// Items fit individually but not collectively.
+	p := Problem{Items: uniform(5, 0.9), Bins: uniform(2, 1)}
+	if _, _, err := FFD(p); err == nil {
+		t.Fatal("infeasible instance accepted")
+	}
+}
+
+func TestExactMatchesKnownOptimal(t *testing.T) {
+	cases := []struct {
+		items []float64
+		want  int
+	}{
+		{[]float64{0.6, 0.6, 0.6}, 3},
+		{[]float64{0.5, 0.5, 0.5, 0.5}, 2},
+		{[]float64{0.7, 0.3, 0.6, 0.4, 0.5, 0.5}, 3},
+		{[]float64{0.9, 0.1, 0.8, 0.2}, 2},
+		// FFD is suboptimal here: FFD opens 3 bins, OPT = 2.
+		// items: 0.4,0.4,0.4,0.3,0.3,0.2 -> OPT: (0.4+0.4+0.2),(0.4+0.3+0.3).
+		{[]float64{0.4, 0.4, 0.4, 0.3, 0.3, 0.2}, 2},
+	}
+	for i, c := range cases {
+		p := Problem{Items: c.items, Bins: uniform(len(c.items), 1)}
+		got, err := Exact(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("case %d: Exact = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestExactRefusesLargeInstances(t *testing.T) {
+	p := Problem{Items: uniform(21, 0.1), Bins: uniform(30, 1)}
+	if _, err := Exact(p); err == nil {
+		t.Fatal("oversized instance accepted")
+	}
+}
+
+// Property: LowerBound <= Exact <= FFD on random small instances.
+func TestQuickBoundsSandwichOptimum(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 4 + src.Intn(9) // 4..12 items
+		items := make([]float64, n)
+		for i := range items {
+			items[i] = 0.05 + src.Float64()*0.9
+		}
+		p := Problem{Items: items, Bins: uniform(n, 1)}
+		lb, err := LowerBound(p)
+		if err != nil {
+			return false
+		}
+		opt, err := Exact(p)
+		if err != nil {
+			return false
+		}
+		ffd, _, err := FFD(p)
+		if err != nil {
+			return false
+		}
+		return lb <= opt && opt <= ffd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FFD respects the 11/9 OPT + 1 guarantee on random instances.
+func TestQuickFFDApproximationRatio(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := 4 + src.Intn(8)
+		items := make([]float64, n)
+		for i := range items {
+			items[i] = 0.05 + src.Float64()*0.9
+		}
+		p := Problem{Items: items, Bins: uniform(n, 1)}
+		opt, err := Exact(p)
+		if err != nil {
+			return false
+		}
+		ffd, _, err := FFD(p)
+		if err != nil {
+			return false
+		}
+		return float64(ffd) <= 11.0/9.0*float64(opt)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFFD1000Items(b *testing.B) {
+	src := rng.New(1)
+	items := make([]float64, 1000)
+	for i := range items {
+		items[i] = 0.02 + src.Float64()*0.5
+	}
+	p := Problem{Items: items, Bins: uniform(700, 1)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FFD(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

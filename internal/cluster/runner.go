@@ -1,0 +1,333 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/dc"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// InitialPlacement selects how VMs alive at t=0 enter the data center.
+type InitialPlacement int
+
+const (
+	// ArriveThroughPolicy feeds t=0 VMs through the policy's assignment
+	// procedure one by one (a consolidated start — what a data center that
+	// has been running ecoCloud looks like at midnight).
+	ArriveThroughPolicy InitialPlacement = iota
+	// SpreadRoundRobin pre-places t=0 VMs round-robin across ALL servers,
+	// activating every server: the paper's "non consolidated scenario" that
+	// the Fig. 12 experiment starts from. Pre-activated servers get no
+	// grace period (their ActivatedAt is set well in the past).
+	SpreadRoundRobin
+)
+
+// RunConfig describes one simulation run.
+type RunConfig struct {
+	Specs    []dc.Spec
+	Workload *trace.Set
+	Horizon  time.Duration
+
+	// ControlInterval is the cadence of the migration scan and of overload
+	// observation (default 5 minutes, the trace epoch).
+	ControlInterval time.Duration
+	// SampleInterval is the cadence of the reported series (the paper
+	// computes all metrics every 30 minutes).
+	SampleInterval time.Duration
+
+	PowerModel dc.PowerModel
+	Initial    InitialPlacement
+
+	// RecordServerUtil stores a per-server utilization sample matrix
+	// (Figs. 6 and 12); costs Samples×Servers float64s.
+	RecordServerUtil bool
+
+	// EventLog, when set, receives one JSON line per data-center mutation:
+	// {"t_ns":..., "kind":"place|remove|migrate|activate|hibernate",
+	//  "vm":..., "server":..., "dest":...}. Useful for debugging policies
+	// and for external analysis; adds encoding cost per event.
+	EventLog io.Writer
+}
+
+// Validate reports whether the run configuration is usable.
+func (c RunConfig) Validate() error {
+	switch {
+	case len(c.Specs) == 0:
+		return fmt.Errorf("cluster: no servers")
+	case c.Workload == nil || len(c.Workload.VMs) == 0:
+		return fmt.Errorf("cluster: no workload")
+	case c.Horizon <= 0:
+		return fmt.Errorf("cluster: Horizon = %v", c.Horizon)
+	case c.ControlInterval <= 0:
+		return fmt.Errorf("cluster: ControlInterval = %v", c.ControlInterval)
+	case c.SampleInterval <= 0:
+		return fmt.Errorf("cluster: SampleInterval = %v", c.SampleInterval)
+	case c.PowerModel.PeakW <= 0:
+		return fmt.Errorf("cluster: power model peak = %v", c.PowerModel.PeakW)
+	}
+	return nil
+}
+
+// Result carries everything the paper's figures and in-text claims need.
+type Result struct {
+	Policy  string
+	Horizon time.Duration
+
+	// Sampled series (one point per SampleInterval, t=0 included).
+	ActiveServers  *metrics.Series // Fig. 7
+	PowerW         *metrics.Series // Fig. 8
+	OverallLoad    *metrics.Series // the reference dots of Figs. 6/12
+	OverDemandPct  *metrics.Series // Fig. 11 (% of VM-time in overload)
+	LowMigrations  *metrics.Series // Fig. 9
+	HighMigrations *metrics.Series // Fig. 9
+	Activations    *metrics.Series // Fig. 10 (per hour)
+	Hibernations   *metrics.Series // Fig. 10 (per hour)
+
+	// Per-server utilization samples (Figs. 6/12): ServerUtil[i][s] is
+	// server s's utilization at SampleTimes[i]. Empty unless requested.
+	SampleTimes []time.Duration
+	ServerUtil  [][]float64
+
+	// Overload episodes at server granularity, measured in control ticks.
+	Episodes *metrics.EpisodeTracker
+
+	// Aggregates.
+	TotalLowMigrations  int
+	TotalHighMigrations int
+	TotalActivations    int
+	TotalHibernations   int
+	Saturations         int
+	EnergyKWh           float64
+	MeanActiveServers   float64
+	FinalActiveServers  int
+	// VMOverloadTimeFrac is the fraction of VM-time spent on overloaded
+	// servers (the paper's Fig. 11 metric, as a fraction not percent).
+	VMOverloadTimeFrac float64
+	// GrantedFracInOverload is demanded CPU actually granted during
+	// overloaded server-ticks (paper: >= 98% even inside violations).
+	GrantedFracInOverload float64
+	// RAMOverloadTimeFrac is the fraction of VM-time on servers whose
+	// memory is overcommitted (used > capacity). Always 0 when the fleet
+	// does not model RAM; the §V extension is judged on it.
+	RAMOverloadTimeFrac  float64
+	MaxMigrationsPerHour float64
+	// Migration batch sizes per control round: the simultaneous-migration
+	// disruption the paper argues against for centralized schemes.
+	MaxConcurrentMigrations  int
+	MeanConcurrentMigrations float64
+	// SwitchEnergyKWh is the transition-energy share already included in
+	// EnergyKWh (nonzero only when the power model prices switches).
+	SwitchEnergyKWh float64
+}
+
+// journalLine is the EventLog wire format.
+type journalLine struct {
+	TNS    int64  `json:"t_ns"`
+	Kind   string `json:"kind"`
+	VM     int    `json:"vm"`
+	Server int    `json:"server"`
+	Dest   int    `json:"dest"`
+}
+
+// Run executes the workload against the policy and collects metrics.
+func Run(cfg RunConfig, policy Policy) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := dc.New(cfg.Specs)
+	rec := NewRecorder(cfg.SampleInterval)
+	eng := sim.New()
+
+	if cfg.EventLog != nil {
+		enc := json.NewEncoder(cfg.EventLog)
+		d.SetJournal(func(e dc.Event) {
+			// Encoding errors must not corrupt the simulation; the journal
+			// is best-effort observability.
+			_ = enc.Encode(journalLine{
+				TNS:    int64(eng.Now()),
+				Kind:   string(e.Kind),
+				VM:     e.VM,
+				Server: e.Server,
+				Dest:   e.Dest,
+			})
+		})
+	}
+
+	res := &Result{
+		Policy:                policy.Name(),
+		Horizon:               cfg.Horizon,
+		ActiveServers:         metrics.NewSeries("active_servers"),
+		PowerW:                metrics.NewSeries("power_w"),
+		OverallLoad:           metrics.NewSeries("overall_load"),
+		OverDemandPct:         metrics.NewSeries("overdemand_pct"),
+		Activations:           metrics.NewSeries("activations_per_hour"),
+		Hibernations:          metrics.NewSeries("hibernations_per_hour"),
+		Episodes:              metrics.NewEpisodeTracker(cfg.ControlInterval),
+		GrantedFracInOverload: 1,
+	}
+
+	totalCapacity := d.TotalCapacityMHz()
+
+	// Sort VMs by (Start, ID) so arrival order is deterministic.
+	vms := make([]*trace.VM, len(cfg.Workload.VMs))
+	copy(vms, cfg.Workload.VMs)
+	sort.Slice(vms, func(i, j int) bool {
+		if vms[i].Start != vms[j].Start {
+			return vms[i].Start < vms[j].Start
+		}
+		return vms[i].ID < vms[j].ID
+	})
+
+	// Initial placement.
+	preplaced := map[int]bool{}
+	if cfg.Initial == SpreadRoundRobin {
+		// Activate everything with ActivatedAt far in the past (no grace).
+		for _, s := range d.Servers {
+			if err := d.Activate(s, 0); err != nil {
+				return nil, err
+			}
+			s.ActivatedAt = -1000 * time.Hour
+		}
+		d.Activations = 0 // setup, not policy behaviour
+		i := 0
+		for _, vm := range vms {
+			if vm.Start != 0 {
+				continue
+			}
+			if err := d.Place(vm, d.Servers[i%len(d.Servers)]); err != nil {
+				return nil, err
+			}
+			preplaced[vm.ID] = true
+			i++
+		}
+	}
+
+	// Arrival and departure events.
+	for _, vm := range vms {
+		vm := vm
+		if !preplaced[vm.ID] {
+			eng.Schedule(vm.Start, "arrival", func(e *sim.Engine) {
+				policy.OnArrival(Env{Now: e.Now(), DC: d, Rec: rec}, vm)
+			})
+		}
+		if vm.End < cfg.Horizon {
+			eng.Schedule(vm.End, "departure", func(e *sim.Engine) {
+				if _, err := d.Remove(vm.ID); err != nil {
+					panic(fmt.Sprintf("cluster: departing VM %d: %v", vm.ID, err))
+				}
+			})
+		}
+	}
+
+	// Overload accounting shared between control and sample ticks.
+	var (
+		vmTicks, vmOverTicks             float64 // whole run
+		vmRAMOverTicks                   float64
+		winVMTicks, winVMOverTicks       float64 // current sample window
+		overDemandMHz, overCapacityMHz   float64 // during overloaded ticks
+		activeTickSum, controlTicks      float64
+		lastActivations, lastHibernation int
+	)
+
+	// Control tick: let the policy act, then observe. Observing after the
+	// policy mirrors the paper's setup, where servers monitor utilization
+	// every few seconds and request relief immediately: overload that the
+	// policy can fix within one monitoring latency never accumulates
+	// violation time; what we count is the overload that persists.
+	eng.Every(0, cfg.ControlInterval, "control", func(e *sim.Engine) {
+		now := e.Now()
+		policy.OnControl(Env{Now: now, DC: d, Rec: rec})
+		for _, s := range d.Servers {
+			if s.State() != dc.Active {
+				continue
+			}
+			demand := s.DemandAt(now)
+			capa := s.CapacityMHz()
+			over := demand > capa
+			res.Episodes.Observe(s.ID, over)
+			n := float64(s.NumVMs())
+			vmTicks += n
+			winVMTicks += n
+			if over {
+				vmOverTicks += n
+				winVMOverTicks += n
+				overDemandMHz += demand
+				overCapacityMHz += capa
+			}
+			if s.Spec.RAMMB > 0 && s.UsedRAMMB() > s.Spec.RAMMB {
+				vmRAMOverTicks += n
+			}
+		}
+		activeTickSum += float64(d.ActiveCount())
+		controlTicks++
+		// Energy: integrate draw over the next interval (left Riemann sum).
+		res.EnergyKWh += d.PowerAt(now, cfg.PowerModel) * cfg.ControlInterval.Hours() / 1000
+	})
+
+	// Sample tick: record the reported series.
+	eng.Every(0, cfg.SampleInterval, "sample", func(e *sim.Engine) {
+		now := e.Now()
+		res.ActiveServers.Add(now, float64(d.ActiveCount()))
+		res.PowerW.Add(now, d.PowerAt(now, cfg.PowerModel))
+		res.OverallLoad.Add(now, cfg.Workload.TotalDemandAt(now)/totalCapacity)
+		pct := 0.0
+		if winVMTicks > 0 {
+			pct = 100 * winVMOverTicks / winVMTicks
+		}
+		res.OverDemandPct.Add(now, pct)
+		winVMTicks, winVMOverTicks = 0, 0
+
+		hours := cfg.SampleInterval.Hours()
+		res.Activations.Add(now, float64(d.Activations-lastActivations)/hours)
+		res.Hibernations.Add(now, float64(d.Hibernations-lastHibernation)/hours)
+		lastActivations, lastHibernation = d.Activations, d.Hibernations
+
+		if cfg.RecordServerUtil {
+			row := make([]float64, len(d.Servers))
+			for i, s := range d.Servers {
+				if s.State() == dc.Active {
+					row[i] = s.UtilizationAt(now)
+				}
+			}
+			res.SampleTimes = append(res.SampleTimes, now)
+			res.ServerUtil = append(res.ServerUtil, row)
+		}
+	})
+
+	eng.Run(cfg.Horizon)
+
+	if err := d.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("cluster: post-run: %v", err)
+	}
+	res.Episodes.Flush()
+	res.LowMigrations = rec.MigrationSeries(MigrationLow, cfg.Horizon)
+	res.HighMigrations = rec.MigrationSeries(MigrationHigh, cfg.Horizon)
+	res.TotalLowMigrations = rec.MigrationCount(MigrationLow)
+	res.TotalHighMigrations = rec.MigrationCount(MigrationHigh)
+	res.TotalActivations = d.Activations
+	res.TotalHibernations = d.Hibernations
+	res.Saturations = rec.Saturations
+	res.FinalActiveServers = d.ActiveCount()
+	res.MaxMigrationsPerHour = rec.MaxMigrationsPerHour()
+	res.MaxConcurrentMigrations = rec.MaxConcurrentMigrations()
+	res.MeanConcurrentMigrations = rec.MeanConcurrentMigrations()
+	res.SwitchEnergyKWh = cfg.PowerModel.SwitchEnergyKWh(d.Activations + d.Hibernations)
+	res.EnergyKWh += res.SwitchEnergyKWh
+	if controlTicks > 0 {
+		res.MeanActiveServers = activeTickSum / controlTicks
+	}
+	if vmTicks > 0 {
+		res.VMOverloadTimeFrac = vmOverTicks / vmTicks
+		res.RAMOverloadTimeFrac = vmRAMOverTicks / vmTicks
+	}
+	if overDemandMHz > 0 {
+		res.GrantedFracInOverload = overCapacityMHz / overDemandMHz
+	}
+	return res, nil
+}

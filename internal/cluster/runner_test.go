@@ -1,0 +1,482 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dc"
+	"repro/internal/ecocloud"
+	"repro/internal/trace"
+)
+
+// stuffer is a degenerate policy that puts every VM on server 0. It gives the
+// driver tests full control over utilization and overload.
+type stuffer struct{ controls int }
+
+func (s *stuffer) Name() string { return "stuffer" }
+
+func (s *stuffer) OnArrival(env cluster.Env, vm *trace.VM) {
+	s0 := env.DC.Servers[0]
+	if s0.State() != dc.Active {
+		if err := env.DC.Activate(s0, env.Now); err != nil {
+			panic(err)
+		}
+	}
+	if err := env.DC.Place(vm, s0); err != nil {
+		panic(err)
+	}
+}
+
+func (s *stuffer) OnControl(env cluster.Env) { s.controls++ }
+
+func constVM(id int, mhz float64, start, end time.Duration) *trace.VM {
+	return &trace.VM{ID: id, Start: start, End: end, Epoch: 1000 * time.Hour, Demand: []float64{mhz}}
+}
+
+func baseConfig(ws *trace.Set) cluster.RunConfig {
+	return cluster.RunConfig{
+		Specs:           dc.UniformFleet(4, 6, 2000),
+		Workload:        ws,
+		Horizon:         2 * time.Hour,
+		ControlInterval: 5 * time.Minute,
+		SampleInterval:  30 * time.Minute,
+		PowerModel:      dc.DefaultPowerModel(),
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: []*trace.VM{constVM(0, 100, 0, time.Hour)}}
+	bad := []func(*cluster.RunConfig){
+		func(c *cluster.RunConfig) { c.Specs = nil },
+		func(c *cluster.RunConfig) { c.Workload = nil },
+		func(c *cluster.RunConfig) { c.Workload = &trace.Set{} },
+		func(c *cluster.RunConfig) { c.Horizon = 0 },
+		func(c *cluster.RunConfig) { c.ControlInterval = 0 },
+		func(c *cluster.RunConfig) { c.SampleInterval = 0 },
+		func(c *cluster.RunConfig) { c.PowerModel = dc.PowerModel{} },
+	}
+	for i, mutate := range bad {
+		cfg := baseConfig(ws)
+		mutate(&cfg)
+		if _, err := cluster.Run(cfg, &stuffer{}); err == nil {
+			t.Errorf("bad run config %d accepted", i)
+		}
+	}
+}
+
+func TestRunSeriesShape(t *testing.T) {
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: []*trace.VM{
+		constVM(0, 2000, 0, 3*time.Hour),
+		constVM(1, 3000, 30*time.Minute, 90*time.Minute),
+	}}
+	cfg := baseConfig(ws)
+	cfg.RecordServerUtil = true
+	res, err := cluster.Run(cfg, &stuffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples at 0, 30, 60, 90, 120 minutes.
+	if res.ActiveServers.Len() != 5 {
+		t.Fatalf("active-servers samples = %d, want 5", res.ActiveServers.Len())
+	}
+	for _, s := range []int{res.PowerW.Len(), res.OverallLoad.Len(), res.OverDemandPct.Len(),
+		res.Activations.Len(), res.Hibernations.Len()} {
+		if s != 5 {
+			t.Fatalf("series length %d, want 5", s)
+		}
+	}
+	if len(res.ServerUtil) != 5 || len(res.ServerUtil[0]) != 4 {
+		t.Fatalf("server-util matrix %dx%d, want 5x4", len(res.ServerUtil), len(res.ServerUtil[0]))
+	}
+	if res.EnergyKWh <= 0 {
+		t.Fatal("energy not accumulated")
+	}
+	if res.Policy != "stuffer" {
+		t.Fatalf("policy name = %q", res.Policy)
+	}
+}
+
+func TestRunArrivalAndDeparture(t *testing.T) {
+	// VM 1 departs at 90m; utilization on server 0 must drop afterwards.
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: []*trace.VM{
+		constVM(0, 2000, 0, 3*time.Hour),
+		constVM(1, 3000, 30*time.Minute, 90*time.Minute),
+	}}
+	cfg := baseConfig(ws)
+	cfg.RecordServerUtil = true
+	res, err := cluster.Run(cfg, &stuffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 60m both VMs run: u = 5000/12000. At 120m only VM 0: u = 2000/12000.
+	if got := res.ServerUtil[2][0]; got < 0.41 || got > 0.42 {
+		t.Fatalf("util at 60m = %v, want ~0.4167", got)
+	}
+	if got := res.ServerUtil[4][0]; got < 0.16 || got > 0.17 {
+		t.Fatalf("util at 120m = %v, want ~0.1667 after departure", got)
+	}
+}
+
+func TestRunOverloadAccounting(t *testing.T) {
+	// 13 GHz of demand on a 12 GHz server: permanently overloaded.
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: []*trace.VM{
+		constVM(0, 7000, 0, 3*time.Hour),
+		constVM(1, 6000, 0, 3*time.Hour),
+	}}
+	cfg := baseConfig(ws)
+	res, err := cluster.Run(cfg, &stuffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VMOverloadTimeFrac < 0.99 {
+		t.Fatalf("overload fraction = %v, want ~1", res.VMOverloadTimeFrac)
+	}
+	if res.Episodes.Episodes() != 1 {
+		t.Fatalf("episodes = %d, want 1 continuous episode", res.Episodes.Episodes())
+	}
+	// Granted fraction = capacity/demand = 12/13.
+	if got := res.GrantedFracInOverload; got < 0.92 || got > 0.93 {
+		t.Fatalf("granted fraction = %v, want ~0.923", got)
+	}
+	if res.OverDemandPct.Max() != 100 {
+		t.Fatalf("over-demand pct max = %v, want 100", res.OverDemandPct.Max())
+	}
+}
+
+func TestRunNoOverloadZeroMetrics(t *testing.T) {
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: []*trace.VM{
+		constVM(0, 1000, 0, 3*time.Hour),
+	}}
+	res, err := cluster.Run(baseConfig(ws), &stuffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VMOverloadTimeFrac != 0 {
+		t.Fatalf("overload fraction = %v, want 0", res.VMOverloadTimeFrac)
+	}
+	if res.GrantedFracInOverload != 1 {
+		t.Fatalf("granted fraction = %v, want 1 (no overload)", res.GrantedFracInOverload)
+	}
+	if res.Episodes.Episodes() != 0 {
+		t.Fatal("phantom overload episodes")
+	}
+}
+
+func TestRunControlCadence(t *testing.T) {
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: []*trace.VM{
+		constVM(0, 1000, 0, 3*time.Hour),
+	}}
+	p := &stuffer{}
+	if _, err := cluster.Run(baseConfig(ws), p); err != nil {
+		t.Fatal(err)
+	}
+	// Ticks at 0, 5, ..., 120 minutes inclusive.
+	if p.controls != 25 {
+		t.Fatalf("control ticks = %d, want 25", p.controls)
+	}
+}
+
+func TestRunSpreadRoundRobin(t *testing.T) {
+	vms := make([]*trace.VM, 8)
+	for i := range vms {
+		vms[i] = constVM(i, 1000, 0, 3*time.Hour)
+	}
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: vms}
+	cfg := baseConfig(ws)
+	cfg.Initial = cluster.SpreadRoundRobin
+	cfg.RecordServerUtil = true
+	res, err := cluster.Run(cfg, &stuffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All 4 servers activated and each got 2 VMs at t=0.
+	if res.ActiveServers.V[0] != 4 {
+		t.Fatalf("active at t=0 = %v, want 4", res.ActiveServers.V[0])
+	}
+	for s := 0; s < 4; s++ {
+		if got := res.ServerUtil[0][s]; got < 0.16 || got > 0.17 {
+			t.Fatalf("server %d util = %v, want ~0.1667", s, got)
+		}
+	}
+	// Setup activations are not counted as policy switches.
+	if res.TotalActivations != 0 {
+		t.Fatalf("setup activations leaked into the count: %d", res.TotalActivations)
+	}
+}
+
+func TestRunEcoCloudEndToEnd(t *testing.T) {
+	// A realistic mini-scenario: 200 VMs with daily pattern on 20 servers,
+	// full ecoCloud. Checks the headline behaviours end to end.
+	gcfg := trace.DefaultGenConfig()
+	gcfg.NumVMs = 200
+	gcfg.Horizon = 12 * time.Hour
+	ws, err := trace.Generate(gcfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := ecocloud.DefaultConfig()
+	pol, err := ecocloud.New(ecfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.RunConfig{
+		Specs:           dc.StandardFleet(20),
+		Workload:        ws,
+		Horizon:         12 * time.Hour,
+		ControlInterval: 5 * time.Minute,
+		SampleInterval:  30 * time.Minute,
+		PowerModel:      dc.DefaultPowerModel(),
+	}
+	res, err := cluster.Run(cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanActiveServers <= 0 || res.MeanActiveServers >= 20 {
+		t.Fatalf("mean active servers = %v", res.MeanActiveServers)
+	}
+	// Consolidation: far fewer servers than the fleet carry the load. The
+	// 200-VM set demands roughly 15-25% of the 20-server fleet.
+	if res.MeanActiveServers > 12 {
+		t.Fatalf("weak consolidation: %v servers active on average", res.MeanActiveServers)
+	}
+	// QoS: overload time fraction stays tiny (paper: <= 0.0002).
+	if res.VMOverloadTimeFrac > 0.005 {
+		t.Fatalf("overload fraction = %v, want < 0.005", res.VMOverloadTimeFrac)
+	}
+	if res.Saturations != 0 {
+		t.Fatalf("saturations = %d in an underloaded DC", res.Saturations)
+	}
+	// Energy must beat the all-on fleet and lose to the impossible zero.
+	allOnKWh := 20 * 0.65 * 250 * 12 / 1000 // every server idle for 12h, lower bound of all-on
+	if res.EnergyKWh >= allOnKWh {
+		t.Fatalf("energy %v kWh not below all-on idle floor %v kWh", res.EnergyKWh, allOnKWh)
+	}
+}
+
+func TestRunEcoCloudDeterministic(t *testing.T) {
+	gcfg := trace.DefaultGenConfig()
+	gcfg.NumVMs = 80
+	gcfg.Horizon = 4 * time.Hour
+	ws, err := trace.Generate(gcfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *cluster.Result {
+		pol, err := ecocloud.New(ecocloud.DefaultConfig(), 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := cluster.RunConfig{
+			Specs:           dc.StandardFleet(10),
+			Workload:        ws,
+			Horizon:         4 * time.Hour,
+			ControlInterval: 5 * time.Minute,
+			SampleInterval:  30 * time.Minute,
+			PowerModel:      dc.DefaultPowerModel(),
+		}
+		res, err := cluster.Run(cfg, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.EnergyKWh != b.EnergyKWh ||
+		a.TotalLowMigrations != b.TotalLowMigrations ||
+		a.TotalHighMigrations != b.TotalHighMigrations ||
+		a.TotalActivations != b.TotalActivations {
+		t.Fatalf("identical runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+// Property: for arbitrary seeds and small random workloads, the driver's
+// aggregate results stay internally consistent.
+func TestQuickRunInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		gcfg := trace.DefaultGenConfig()
+		gcfg.NumVMs = 60
+		gcfg.Horizon = 3 * time.Hour
+		ws, err := trace.Generate(gcfg, seed)
+		if err != nil {
+			return false
+		}
+		pol, err := ecocloud.New(ecocloud.DefaultConfig(), seed+1)
+		if err != nil {
+			return false
+		}
+		res, err := cluster.Run(cluster.RunConfig{
+			Specs:           dc.StandardFleet(8),
+			Workload:        ws,
+			Horizon:         3 * time.Hour,
+			ControlInterval: 5 * time.Minute,
+			SampleInterval:  30 * time.Minute,
+			PowerModel:      dc.DefaultPowerModel(),
+		}, pol)
+		if err != nil {
+			return false
+		}
+		switch {
+		case res.EnergyKWh <= 0:
+			return false
+		case res.MeanActiveServers < 0 || res.MeanActiveServers > 8:
+			return false
+		case res.VMOverloadTimeFrac < 0 || res.VMOverloadTimeFrac > 1:
+			return false
+		case res.GrantedFracInOverload <= 0 || res.GrantedFracInOverload > 1:
+			return false
+		case res.TotalLowMigrations < 0 || res.TotalHighMigrations < 0:
+			return false
+		case res.MaxConcurrentMigrations > res.TotalLowMigrations+res.TotalHighMigrations:
+			return false
+		case res.TotalHibernations > res.TotalActivations:
+			// Every hibernation needs a prior activation (fleet starts off).
+			return false
+		}
+		// Series totals must agree with scalar totals.
+		lowFromSeries := 0.0
+		for _, v := range res.LowMigrations.V {
+			lowFromSeries += v * 0.5 // 30-minute buckets, rate is per hour
+		}
+		diff := lowFromSeries - float64(res.TotalLowMigrations)
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Soak: a week of simulated operation at small scale, checking that nothing
+// degenerates over long horizons (counters stay sane, invariants hold,
+// energy accumulates linearly-ish).
+func TestSoakWeekLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("week-long soak")
+	}
+	gcfg := trace.DefaultGenConfig()
+	gcfg.NumVMs = 300
+	gcfg.Horizon = 7 * 24 * time.Hour
+	ws, err := trace.Generate(gcfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := ecocloud.New(ecocloud.DefaultConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cluster.Run(cluster.RunConfig{
+		Specs:           dc.StandardFleet(20),
+		Workload:        ws,
+		Horizon:         gcfg.Horizon,
+		ControlInterval: 5 * time.Minute,
+		SampleInterval:  time.Hour,
+		PowerModel:      dc.DefaultPowerModel(),
+	}, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VMOverloadTimeFrac > 0.001 {
+		t.Fatalf("overload crept up over a week: %v", res.VMOverloadTimeFrac)
+	}
+	if res.Saturations != 0 {
+		t.Fatalf("saturations = %d", res.Saturations)
+	}
+	// Daily rhythm: roughly one activation/hibernation wave per day; after
+	// the first-day transient the counts should stay bounded (no flapping).
+	if res.TotalActivations > 20*7*4 {
+		t.Fatalf("activation flapping: %d over a week", res.TotalActivations)
+	}
+	// Energy over 7 days must exceed 7x the daily hibernated floor and stay
+	// under 7x the all-on ceiling.
+	floor := 7 * 24.0 * 20 * 5 / 1000 // all hibernated at 5 W
+	ceiling := 7 * 24.0 * 20 * 250 / 1000
+	if res.EnergyKWh <= floor || res.EnergyKWh >= ceiling {
+		t.Fatalf("energy %v kWh outside (%v, %v)", res.EnergyKWh, floor, ceiling)
+	}
+}
+
+// The event journal must reconstruct the run: every placement, departure,
+// migration and switch appears exactly once, in timestamp order, and the
+// replayed placement state matches the counters.
+func TestRunEventJournal(t *testing.T) {
+	gcfg := trace.DefaultGenConfig()
+	gcfg.NumVMs = 80
+	gcfg.Horizon = 4 * time.Hour
+	ws, err := trace.Generate(gcfg, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := ecocloud.New(ecocloud.DefaultConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cfg := cluster.RunConfig{
+		Specs:           dc.StandardFleet(10),
+		Workload:        ws,
+		Horizon:         4 * time.Hour,
+		ControlInterval: 5 * time.Minute,
+		SampleInterval:  30 * time.Minute,
+		PowerModel:      dc.DefaultPowerModel(),
+		EventLog:        &buf,
+	}
+	res, err := cluster.Run(cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type line struct {
+		TNS    int64  `json:"t_ns"`
+		Kind   string `json:"kind"`
+		VM     int    `json:"vm"`
+		Server int    `json:"server"`
+		Dest   int    `json:"dest"`
+	}
+	counts := map[string]int{}
+	lastT := int64(-1)
+	placed := map[int]int{} // vm -> server, replayed
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var l line
+		if err := dec.Decode(&l); err != nil {
+			t.Fatal(err)
+		}
+		if l.TNS < lastT {
+			t.Fatalf("journal out of order: %d after %d", l.TNS, lastT)
+		}
+		lastT = l.TNS
+		counts[l.Kind]++
+		switch l.Kind {
+		case "place":
+			placed[l.VM] = l.Server
+		case "remove":
+			if placed[l.VM] != l.Server {
+				t.Fatalf("remove of VM %d from server %d, but replay has it on %d", l.VM, l.Server, placed[l.VM])
+			}
+			delete(placed, l.VM)
+		case "migrate":
+			if placed[l.VM] != l.Server {
+				t.Fatalf("migrate of VM %d from wrong source", l.VM)
+			}
+			placed[l.VM] = l.Dest
+		}
+	}
+	if counts["place"] != 80 {
+		t.Fatalf("placements journaled = %d, want 80", counts["place"])
+	}
+	if counts["migrate"] != res.TotalLowMigrations+res.TotalHighMigrations {
+		t.Fatalf("migrations journaled = %d, counters say %d",
+			counts["migrate"], res.TotalLowMigrations+res.TotalHighMigrations)
+	}
+	if counts["activate"] != res.TotalActivations || counts["hibernate"] != res.TotalHibernations {
+		t.Fatalf("switches journaled = %d/%d, counters %d/%d",
+			counts["activate"], counts["hibernate"], res.TotalActivations, res.TotalHibernations)
+	}
+	// All VMs run past the horizon, so no removes; the replayed placement
+	// count must match the final state.
+	if len(placed) != 80 {
+		t.Fatalf("replayed placements = %d", len(placed))
+	}
+}

@@ -1,0 +1,34 @@
+// Package core is the canonical entry point to the paper's primary
+// contribution. The implementation lives in repro/internal/ecocloud under
+// its proper name; this package re-exports the public API so the repository
+// layout (internal/core = the contribution, internal/<substrate> = the
+// subsystems it runs on) reads uniformly.
+package core
+
+import "repro/internal/ecocloud"
+
+// Config is the full ecoCloud parameter set (Ta, p, Tl, Th, alpha, beta,
+// grace period, cooldown, invitation subset).
+type Config = ecocloud.Config
+
+// Policy is the ecoCloud assignment+migration algorithm in the shape the
+// cluster driver runs.
+type Policy = ecocloud.Policy
+
+// AssignProbFunc is the assignment probability function fa (Eq. 1–2).
+type AssignProbFunc = ecocloud.AssignProbFunc
+
+// DefaultConfig returns the paper's §III parameter set.
+func DefaultConfig() Config { return ecocloud.DefaultConfig() }
+
+// New builds an ecoCloud policy from a validated configuration and a seed.
+func New(cfg Config, seed uint64) (*Policy, error) { return ecocloud.New(cfg, seed) }
+
+// NewAssignProb builds fa with threshold ta and shape p.
+func NewAssignProb(ta, p float64) (AssignProbFunc, error) { return ecocloud.NewAssignProb(ta, p) }
+
+// MigrateLowProb is f_l of Eq. (3).
+func MigrateLowProb(u, tl, alpha float64) float64 { return ecocloud.MigrateLowProb(u, tl, alpha) }
+
+// MigrateHighProb is f_h of Eq. (4).
+func MigrateHighProb(u, th, beta float64) float64 { return ecocloud.MigrateHighProb(u, th, beta) }

@@ -1,0 +1,28 @@
+package core
+
+import "testing"
+
+// The alias package must expose a working ecoCloud surface.
+func TestAliasesWork(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Ta != 0.90 || cfg.P != 3 || cfg.Tl != 0.50 || cfg.Th != 0.95 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+	p, err := New(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "ecocloud" {
+		t.Fatalf("policy name = %q", p.Name())
+	}
+	fa, err := NewAssignProb(cfg.Ta, cfg.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.Eval(fa.ArgMax()) < 0.999 {
+		t.Fatal("fa not normalized")
+	}
+	if MigrateLowProb(0, 0.5, 0.25) != 1 || MigrateHighProb(1, 0.95, 0.25) != 1 {
+		t.Fatal("migration functions broken through aliases")
+	}
+}

@@ -1,0 +1,20 @@
+package dc_test
+
+import (
+	"fmt"
+
+	"repro/internal/dc"
+)
+
+// The theoretical minimum number of servers for a given demand: the bound
+// the paper's abstract compares consolidation efficiency against.
+func ExampleMinServersFor() {
+	fleet := dc.StandardFleet(400) // thirds of 4/6/8-core 2 GHz machines
+	for _, loadFrac := range []float64{0.25, 0.50} {
+		demand := loadFrac * 4_804_000 // total fleet capacity in MHz
+		fmt.Printf("load %.0f%%: >= %d servers\n", 100*loadFrac, dc.MinServersFor(fleet, demand, 0.9))
+	}
+	// Output:
+	// load 25%: >= 84 servers
+	// load 50%: >= 178 servers
+}

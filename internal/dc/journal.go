@@ -1,0 +1,34 @@
+package dc
+
+// Event is one state mutation of the data center, emitted to the journal
+// callback when one is installed. Fields not applicable to a kind are -1.
+type Event struct {
+	Kind   EventKind
+	VM     int // VM involved, or -1
+	Server int // primary server (placement target, migration source, switch subject)
+	Dest   int // migration destination, or -1
+}
+
+// EventKind enumerates the journal events.
+type EventKind string
+
+// Journal event kinds.
+const (
+	EventPlace     EventKind = "place"
+	EventRemove    EventKind = "remove"
+	EventMigrate   EventKind = "migrate"
+	EventActivate  EventKind = "activate"
+	EventHibernate EventKind = "hibernate"
+)
+
+// SetJournal installs (or clears, with nil) the journal callback. The
+// callback runs synchronously inside each mutation, after the state change
+// has been applied; it must not mutate the data center.
+func (d *DataCenter) SetJournal(fn func(Event)) { d.journal = fn }
+
+// emit reports an event to the journal if one is installed.
+func (d *DataCenter) emit(e Event) {
+	if d.journal != nil {
+		d.journal(e)
+	}
+}

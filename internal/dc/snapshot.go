@@ -1,0 +1,109 @@
+package dc
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Snapshot is a serializable image of the data center's mutable state:
+// power states, activation times, placements (by VM ID) and switch
+// counters. Together with the (immutable) specs and workload it restores a
+// run's placement state exactly — the building block for checkpointing
+// long simulations.
+type Snapshot struct {
+	Servers      []ServerSnapshot `json:"servers"`
+	Activations  int              `json:"activations"`
+	Hibernations int              `json:"hibernations"`
+}
+
+// ServerSnapshot is one server's mutable state.
+type ServerSnapshot struct {
+	ID          int   `json:"id"`
+	Active      bool  `json:"active"`
+	ActivatedNS int64 `json:"activated_ns"`
+	VMs         []int `json:"vms"`
+}
+
+// Snapshot captures the current state.
+func (d *DataCenter) Snapshot() Snapshot {
+	snap := Snapshot{
+		Activations:  d.Activations,
+		Hibernations: d.Hibernations,
+	}
+	for _, s := range d.Servers {
+		ss := ServerSnapshot{
+			ID:          s.ID,
+			Active:      s.state == Active,
+			ActivatedNS: int64(s.ActivatedAt),
+		}
+		for _, vm := range s.vms {
+			ss.VMs = append(ss.VMs, vm.ID)
+		}
+		snap.Servers = append(snap.Servers, ss)
+	}
+	return snap
+}
+
+// Restore builds a data center from specs and applies the snapshot,
+// resolving VM IDs against the workload. It fails loudly on any mismatch
+// (unknown VM, server count drift, VM on a hibernated server) rather than
+// restoring a half-consistent state.
+func Restore(specs []Spec, ws *trace.Set, snap Snapshot) (*DataCenter, error) {
+	if len(specs) != len(snap.Servers) {
+		return nil, fmt.Errorf("dc: snapshot has %d servers, specs %d", len(snap.Servers), len(specs))
+	}
+	byID := make(map[int]*trace.VM, len(ws.VMs))
+	for _, vm := range ws.VMs {
+		byID[vm.ID] = vm
+	}
+	d := New(specs)
+	for _, ss := range snap.Servers {
+		if ss.ID < 0 || ss.ID >= len(d.Servers) {
+			return nil, fmt.Errorf("dc: snapshot server id %d out of range", ss.ID)
+		}
+		s := d.Servers[ss.ID]
+		if ss.Active {
+			if err := d.Activate(s, time.Duration(ss.ActivatedNS)); err != nil {
+				return nil, err
+			}
+		} else if len(ss.VMs) > 0 {
+			return nil, fmt.Errorf("dc: snapshot has %d VMs on hibernated server %d", len(ss.VMs), ss.ID)
+		}
+		for _, id := range ss.VMs {
+			vm, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("dc: snapshot VM %d not in the workload", id)
+			}
+			if err := d.Place(vm, s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// The snapshot's counters override the ones the replay just produced.
+	d.Activations = snap.Activations
+	d.Hibernations = snap.Hibernations
+	if err := d.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("dc: restored state inconsistent: %v", err)
+	}
+	return d, nil
+}
+
+// WriteSnapshot serializes the snapshot as JSON.
+func WriteSnapshot(w io.Writer, snap Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// ReadSnapshot parses a snapshot written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var snap Snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return Snapshot{}, fmt.Errorf("dc: reading snapshot: %v", err)
+	}
+	return snap, nil
+}

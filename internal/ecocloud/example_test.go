@@ -1,0 +1,34 @@
+package ecocloud_test
+
+import (
+	"fmt"
+
+	"repro/internal/ecocloud"
+)
+
+// The assignment probability function with the paper's parameters: zero at
+// idle, peaked near (but under) the threshold, zero above it.
+func ExampleNewAssignProb() {
+	fa, err := ecocloud.NewAssignProb(0.9, 3)
+	if err != nil {
+		panic(err)
+	}
+	for _, u := range []float64{0, 0.3, fa.ArgMax(), 0.89, 0.95} {
+		fmt.Printf("fa(%.3f) = %.3f\n", u, fa.Eval(u))
+	}
+	// Output:
+	// fa(0.000) = 0.000
+	// fa(0.300) = 0.234
+	// fa(0.675) = 1.000
+	// fa(0.890) = 0.102
+	// fa(0.950) = 0.000
+}
+
+// Migration trigger probabilities just outside the [Tl, Th] band.
+func ExampleMigrateLowProb() {
+	fmt.Printf("f_l(0.10) = %.3f\n", ecocloud.MigrateLowProb(0.10, 0.5, 0.25))
+	fmt.Printf("f_h(0.97) = %.3f\n", ecocloud.MigrateHighProb(0.97, 0.95, 0.25))
+	// Output:
+	// f_l(0.10) = 0.946
+	// f_h(0.97) = 0.795
+}

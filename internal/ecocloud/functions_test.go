@@ -1,0 +1,234 @@
+package ecocloud
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustAssign(t *testing.T, ta, p float64) AssignProbFunc {
+	t.Helper()
+	f, err := NewAssignProb(ta, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestAssignProbBoundary(t *testing.T) {
+	f := mustAssign(t, 0.9, 3)
+	if f.Eval(0) != 0 {
+		t.Fatalf("fa(0) = %v, want 0 (idle servers must drain)", f.Eval(0))
+	}
+	if f.Eval(0.9) != 0 {
+		t.Fatalf("fa(Ta) = %v, want 0", f.Eval(0.9))
+	}
+	if f.Eval(0.95) != 0 || f.Eval(1.2) != 0 {
+		t.Fatal("fa above Ta must be 0")
+	}
+	if f.Eval(-0.1) != 0 {
+		t.Fatal("fa below 0 must be 0")
+	}
+}
+
+func TestAssignProbPeak(t *testing.T) {
+	// Paper: maximum at u* = Ta*p/(p+1), normalized to 1.
+	for _, p := range []float64{2, 3, 5} {
+		f := mustAssign(t, 0.9, p)
+		wantArg := 0.9 * p / (p + 1)
+		if math.Abs(f.ArgMax()-wantArg) > 1e-12 {
+			t.Fatalf("p=%v: ArgMax = %v, want %v", p, f.ArgMax(), wantArg)
+		}
+		if got := f.Eval(f.ArgMax()); math.Abs(got-1) > 1e-12 {
+			t.Fatalf("p=%v: fa(u*) = %v, want 1", p, got)
+		}
+	}
+}
+
+func TestAssignProbPeakShiftsRightWithP(t *testing.T) {
+	// Fig. 2: larger p moves the sweet spot toward Ta.
+	f2 := mustAssign(t, 0.9, 2)
+	f3 := mustAssign(t, 0.9, 3)
+	f5 := mustAssign(t, 0.9, 5)
+	if !(f2.ArgMax() < f3.ArgMax() && f3.ArgMax() < f5.ArgMax()) {
+		t.Fatalf("peaks %v %v %v not increasing in p", f2.ArgMax(), f3.ArgMax(), f5.ArgMax())
+	}
+	// At low utilization, small p accepts more readily (Fig. 2 crossing).
+	if !(f2.Eval(0.2) > f3.Eval(0.2) && f3.Eval(0.2) > f5.Eval(0.2)) {
+		t.Fatal("low-utilization acceptance should decrease with p")
+	}
+}
+
+func TestAssignProbUnimodal(t *testing.T) {
+	f := mustAssign(t, 0.9, 3)
+	peak := f.ArgMax()
+	prev := -1.0
+	for u := 0.0; u <= peak; u += 0.01 {
+		v := f.Eval(u)
+		if v < prev-1e-12 {
+			t.Fatalf("fa not increasing before the peak at u=%v", u)
+		}
+		prev = v
+	}
+	prev = 2.0
+	for u := peak; u <= 0.9; u += 0.01 {
+		v := f.Eval(u)
+		if v > prev+1e-12 {
+			t.Fatalf("fa not decreasing after the peak at u=%v", u)
+		}
+		prev = v
+	}
+}
+
+func TestAssignProbNormalizerFormula(t *testing.T) {
+	// Eq. (2) spot check for p=3, Ta=0.9:
+	// Mp = 3^3/4^4 * 0.9^4 = 27/256 * 0.6561.
+	f := mustAssign(t, 0.9, 3)
+	want := 27.0 / 256.0 * math.Pow(0.9, 4)
+	if math.Abs(f.normalizer()-want) > 1e-15 {
+		t.Fatalf("Mp = %v, want %v", f.normalizer(), want)
+	}
+}
+
+func TestAssignProbValidation(t *testing.T) {
+	cases := []struct{ ta, p float64 }{
+		{0, 3}, {-0.5, 3}, {1.1, 3}, {0.9, 0}, {0.9, -1},
+	}
+	for _, c := range cases {
+		if _, err := NewAssignProb(c.ta, c.p); err == nil {
+			t.Errorf("NewAssignProb(%v,%v) accepted", c.ta, c.p)
+		}
+	}
+}
+
+func TestWithThreshold(t *testing.T) {
+	f := mustAssign(t, 0.9, 3)
+	g, err := f.WithThreshold(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Ta != 0.6 || g.P != 3 {
+		t.Fatalf("WithThreshold produced Ta=%v p=%v", g.Ta, g.P)
+	}
+	if g.Eval(0.7) != 0 {
+		t.Fatal("tightened function must reject above its own threshold")
+	}
+	if math.Abs(g.Eval(g.ArgMax())-1) > 1e-12 {
+		t.Fatal("tightened function must still be normalized to peak 1")
+	}
+	if _, err := f.WithThreshold(0); err == nil {
+		t.Fatal("WithThreshold(0) accepted")
+	}
+}
+
+func TestMigrateLowProb(t *testing.T) {
+	const tl, alpha = 0.3, 1.0
+	if got := MigrateLowProb(0, tl, alpha); got != 1 {
+		t.Fatalf("f_l(0) = %v, want 1", got)
+	}
+	if got := MigrateLowProb(tl, tl, alpha); got != 0 {
+		t.Fatalf("f_l(Tl) = %v, want 0", got)
+	}
+	if got := MigrateLowProb(0.5, tl, alpha); got != 0 {
+		t.Fatalf("f_l above Tl = %v, want 0", got)
+	}
+	if got := MigrateLowProb(-0.1, tl, alpha); got != 0 {
+		t.Fatalf("f_l(-0.1) = %v, want 0", got)
+	}
+	// Linear when alpha=1: f_l(0.15) = 0.5.
+	if got := MigrateLowProb(0.15, tl, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("f_l(0.15) = %v, want 0.5", got)
+	}
+	// Fig. 3: alpha=0.25 lies above alpha=1 strictly inside (0, Tl).
+	if MigrateLowProb(0.15, tl, 0.25) <= MigrateLowProb(0.15, tl, 1) {
+		t.Fatal("smaller alpha should make f_l larger inside (0,Tl)")
+	}
+}
+
+func TestMigrateLowProbMonotone(t *testing.T) {
+	prev := 2.0
+	for u := 0.0; u < 0.3; u += 0.01 {
+		v := MigrateLowProb(u, 0.3, 0.25)
+		if v > prev+1e-12 {
+			t.Fatalf("f_l not decreasing at u=%v", u)
+		}
+		prev = v
+	}
+}
+
+func TestMigrateHighProb(t *testing.T) {
+	const th, beta = 0.8, 1.0
+	if got := MigrateHighProb(th, th, beta); got != 0 {
+		t.Fatalf("f_h(Th) = %v, want 0", got)
+	}
+	if got := MigrateHighProb(0.5, th, beta); got != 0 {
+		t.Fatalf("f_h below Th = %v, want 0", got)
+	}
+	if got := MigrateHighProb(1, th, beta); got != 1 {
+		t.Fatalf("f_h(1) = %v, want 1", got)
+	}
+	if got := MigrateHighProb(1.4, th, beta); got != 1 {
+		t.Fatalf("f_h(1.4) = %v, want 1 (overload saturates)", got)
+	}
+	// Linear when beta=1: f_h(0.9) = 0.5.
+	if got := MigrateHighProb(0.9, th, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("f_h(0.9) = %v, want 0.5", got)
+	}
+	// Fig. 3: beta=0.25 lies above beta=1 strictly inside (Th, 1).
+	if MigrateHighProb(0.9, th, 0.25) <= MigrateHighProb(0.9, th, 1) {
+		t.Fatal("smaller beta should make f_h larger inside (Th,1)")
+	}
+}
+
+func TestMigrateHighProbMonotone(t *testing.T) {
+	prev := -1.0
+	for u := 0.8; u <= 1.0; u += 0.005 {
+		v := MigrateHighProb(u, 0.8, 0.25)
+		if v < prev-1e-12 {
+			t.Fatalf("f_h not increasing at u=%v", u)
+		}
+		prev = v
+	}
+}
+
+// Property: all three probability functions stay in [0,1] for any
+// utilization and any valid parameters.
+func TestQuickProbabilitiesInUnitInterval(t *testing.T) {
+	f := func(uRaw, taRaw, pRaw, tlRaw, thRaw, abRaw uint16) bool {
+		u := float64(uRaw) / 65535 * 2 // [0, 2]: include overload
+		ta := 0.05 + float64(taRaw)/65535*0.95
+		p := 0.5 + float64(pRaw)/65535*9
+		tl := 0.05 + float64(tlRaw)/65535*0.9
+		th := 0.05 + float64(thRaw)/65535*0.9
+		ab := 0.05 + float64(abRaw)/65535*4
+		fa, err := NewAssignProb(ta, p)
+		if err != nil {
+			return false
+		}
+		for _, v := range []float64{
+			fa.Eval(u),
+			MigrateLowProb(u, tl, ab),
+			MigrateHighProb(u, th, ab),
+		} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAssignProbEval(b *testing.B) {
+	f, err := NewAssignProb(0.9, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += f.Eval(float64(i%100) / 100)
+	}
+	_ = sink
+}

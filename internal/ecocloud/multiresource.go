@@ -1,0 +1,144 @@
+package ecocloud
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// MultiResource implements the extension sketched in the paper's §V: taking
+// assignment decisions on several hardware resources (CPU, RAM, disk,
+// bandwidth) instead of CPU alone. The paper proposes two strategies:
+//
+//  1. AllTrials — define an assignment function per resource, run one
+//     Bernoulli trial per resource, and declare availability only when ALL
+//     trials succeed;
+//  2. CriticalPlusConstraints — run a single Bernoulli trial on the most
+//     critical resource (the one closest to its threshold) and treat the
+//     remaining resources as hard feasibility constraints (u_r <= Ta_r).
+//
+// Both operate on a named utilization vector, so they compose with any
+// bookkeeping the host system keeps per resource.
+type MultiResource struct {
+	// funcs maps resource name -> its assignment function. Iteration is
+	// always in sorted-name order so trial draws are deterministic.
+	funcs map[string]AssignProbFunc
+	names []string
+}
+
+// NewMultiResource builds the multi-resource trial machinery from one
+// assignment function per resource. At least one resource is required.
+func NewMultiResource(funcs map[string]AssignProbFunc) (*MultiResource, error) {
+	if len(funcs) == 0 {
+		return nil, fmt.Errorf("ecocloud: multi-resource needs at least one resource")
+	}
+	m := &MultiResource{funcs: make(map[string]AssignProbFunc, len(funcs))}
+	for name, f := range funcs {
+		if f.Ta <= 0 {
+			return nil, fmt.Errorf("ecocloud: resource %q has an uninitialized assignment function", name)
+		}
+		m.funcs[name] = f
+		m.names = append(m.names, name)
+	}
+	sort.Strings(m.names)
+	return m, nil
+}
+
+// Resources returns the resource names in the deterministic trial order.
+func (m *MultiResource) Resources() []string {
+	out := make([]string, len(m.names))
+	copy(out, m.names)
+	return out
+}
+
+// utilOf fetches the utilization for a resource, failing loudly on a
+// missing entry: a caller that forgets a resource has a bookkeeping bug.
+func (m *MultiResource) utilOf(utils map[string]float64, name string) (float64, error) {
+	u, ok := utils[name]
+	if !ok {
+		return 0, fmt.Errorf("ecocloud: utilization vector missing resource %q", name)
+	}
+	return u, nil
+}
+
+// TrialAll implements strategy 1: the server declares availability only if
+// an independent Bernoulli trial succeeds for every resource. The
+// utilization vector is validated in full before the first trial, so a
+// bookkeeping bug surfaces even when an early trial would have rejected.
+func (m *MultiResource) TrialAll(utils map[string]float64, src *rng.Source) (bool, error) {
+	us := make([]float64, len(m.names))
+	for i, name := range m.names {
+		u, err := m.utilOf(utils, name)
+		if err != nil {
+			return false, err
+		}
+		us[i] = u
+	}
+	for i, name := range m.names {
+		if !src.Bernoulli(m.funcs[name].Eval(us[i])) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// AcceptProbAll returns the closed-form acceptance probability of TrialAll
+// (the product of the per-resource probabilities) — handy for analysis and
+// for tests that check the empirical rate.
+func (m *MultiResource) AcceptProbAll(utils map[string]float64) (float64, error) {
+	p := 1.0
+	for _, name := range m.names {
+		u, err := m.utilOf(utils, name)
+		if err != nil {
+			return 0, err
+		}
+		p *= m.funcs[name].Eval(u)
+	}
+	return p, nil
+}
+
+// Critical returns the most critical resource: the one with the highest
+// utilization relative to its own threshold (u/Ta). Ties resolve to the
+// lexicographically first name for determinism.
+func (m *MultiResource) Critical(utils map[string]float64) (string, error) {
+	best := ""
+	bestRatio := -1.0
+	for _, name := range m.names {
+		u, err := m.utilOf(utils, name)
+		if err != nil {
+			return "", err
+		}
+		if ratio := u / m.funcs[name].Ta; ratio > bestRatio {
+			best, bestRatio = name, ratio
+		}
+	}
+	return best, nil
+}
+
+// TrialCritical implements strategy 2: a single Bernoulli trial on the most
+// critical resource; every other resource must merely satisfy its threshold
+// constraint (u <= Ta).
+func (m *MultiResource) TrialCritical(utils map[string]float64, src *rng.Source) (bool, error) {
+	critical, err := m.Critical(utils)
+	if err != nil {
+		return false, err
+	}
+	for _, name := range m.names {
+		if name == critical {
+			continue
+		}
+		u, err := m.utilOf(utils, name)
+		if err != nil {
+			return false, err
+		}
+		if u > m.funcs[name].Ta {
+			return false, nil
+		}
+	}
+	u, err := m.utilOf(utils, critical)
+	if err != nil {
+		return false, err
+	}
+	return src.Bernoulli(m.funcs[critical].Eval(u)), nil
+}

@@ -1,0 +1,166 @@
+package ecocloud
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func newMulti(t *testing.T) *MultiResource {
+	t.Helper()
+	cpu, err := NewAssignProb(0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ram, err := NewAssignProb(0.8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMultiResource(map[string]AssignProbFunc{"cpu": cpu, "ram": ram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMultiResourceValidation(t *testing.T) {
+	if _, err := NewMultiResource(nil); err == nil {
+		t.Fatal("empty resource map accepted")
+	}
+	if _, err := NewMultiResource(map[string]AssignProbFunc{"cpu": {}}); err == nil {
+		t.Fatal("uninitialized assignment function accepted")
+	}
+}
+
+func TestResourcesSortedOrder(t *testing.T) {
+	m := newMulti(t)
+	names := m.Resources()
+	if len(names) != 2 || names[0] != "cpu" || names[1] != "ram" {
+		t.Fatalf("resources = %v", names)
+	}
+}
+
+func TestTrialAllRequiresAllResources(t *testing.T) {
+	m := newMulti(t)
+	src := rng.New(1)
+	if _, err := m.TrialAll(map[string]float64{"cpu": 0.5}, src); err == nil {
+		t.Fatal("missing resource not reported")
+	}
+}
+
+func TestTrialAllRejectsWhenAnyResourceFull(t *testing.T) {
+	m := newMulti(t)
+	src := rng.New(2)
+	// RAM above its threshold: fa_ram = 0, so acceptance is impossible.
+	for i := 0; i < 200; i++ {
+		ok, err := m.TrialAll(map[string]float64{"cpu": 0.675, "ram": 0.85}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatal("accepted despite a saturated resource")
+		}
+	}
+}
+
+func TestTrialAllEmpiricalRateMatchesProduct(t *testing.T) {
+	m := newMulti(t)
+	src := rng.New(3)
+	utils := map[string]float64{"cpu": 0.6, "ram": 0.5}
+	want, err := m.AcceptProbAll(utils)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		ok, err := m.TrialAll(utils, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("empirical rate %v, closed form %v", got, want)
+	}
+}
+
+func TestCriticalPicksHighestRelativeUtilization(t *testing.T) {
+	m := newMulti(t)
+	// cpu 0.6/0.9 = 0.667; ram 0.6/0.8 = 0.75 -> ram is critical.
+	c, err := m.Critical(map[string]float64{"cpu": 0.6, "ram": 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != "ram" {
+		t.Fatalf("critical = %q, want ram", c)
+	}
+	// cpu 0.85/0.9 = 0.944 beats ram 0.6/0.8.
+	c, err = m.Critical(map[string]float64{"cpu": 0.85, "ram": 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != "cpu" {
+		t.Fatalf("critical = %q, want cpu", c)
+	}
+}
+
+func TestTrialCriticalConstraints(t *testing.T) {
+	m := newMulti(t)
+	src := rng.New(5)
+	// cpu is critical (0.88/0.9); ram violates its constraint (0.81 > 0.8):
+	// rejection is certain.
+	for i := 0; i < 200; i++ {
+		ok, err := m.TrialCritical(map[string]float64{"cpu": 0.88, "ram": 0.81}, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatal("accepted despite a violated constraint")
+		}
+	}
+}
+
+func TestTrialCriticalUsesSingleTrial(t *testing.T) {
+	m := newMulti(t)
+	src := rng.New(7)
+	// ram critical at 0.6/0.8; cpu low (0.2) would often fail its own trial
+	// under AllTrials, but strategy 2 ignores cpu's probability entirely.
+	utils := map[string]float64{"cpu": 0.2, "ram": 0.6}
+	ramFn := m.funcs["ram"]
+	want := ramFn.Eval(0.6)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		ok, err := m.TrialCritical(utils, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("empirical rate %v, want fa_ram(0.6) = %v", got, want)
+	}
+	// Sanity: strategy 1 on the same state accepts strictly less often.
+	all, err := m.AcceptProbAll(utils)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all >= want {
+		t.Fatalf("AllTrials prob %v not below critical-only %v", all, want)
+	}
+}
+
+func TestTrialCriticalMissingResource(t *testing.T) {
+	m := newMulti(t)
+	if _, err := m.TrialCritical(map[string]float64{"ram": 0.5}, rng.New(1)); err == nil {
+		t.Fatal("missing resource not reported")
+	}
+}

@@ -1,0 +1,430 @@
+package ecocloud
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dc"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Policy is the ecoCloud consolidation algorithm (assignment + migration
+// procedures) in the shape the cluster driver runs. It is not safe for
+// concurrent use; the driver invokes callbacks sequentially.
+type Policy struct {
+	cfg Config
+	fa  AssignProbFunc
+	// faRAM is the memory assignment function of the §V extension (zero
+	// value when cfg.RAM is nil).
+	faRAM AssignProbFunc
+
+	// mgr is the data-center manager's stream: choosing among available
+	// servers, picking which hibernated server to wake, sampling invitation
+	// subsets.
+	mgr *rng.Source
+	// servers holds one independent stream per server, so Bernoulli draws
+	// do not depend on iteration (or goroutine) order.
+	servers map[int]*rng.Source
+	master  *rng.Source
+
+	// lastMig is the virtual time of each server's last migration request,
+	// for the cooldown.
+	lastMig map[int]time.Duration
+
+	// nextGroup rotates which static server group receives the next
+	// invitation when InviteGroups is enabled.
+	nextGroup int
+}
+
+var _ cluster.Policy = (*Policy)(nil)
+
+// New builds an ecoCloud policy from a validated configuration and a seed.
+func New(cfg Config, seed uint64) (*Policy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fa, err := NewAssignProb(cfg.Ta, cfg.P)
+	if err != nil {
+		return nil, err
+	}
+	var faRAM AssignProbFunc
+	if cfg.RAM != nil {
+		faRAM, err = NewAssignProb(cfg.RAM.Ta, cfg.RAM.P)
+		if err != nil {
+			return nil, err
+		}
+	}
+	master := rng.New(seed)
+	return &Policy{
+		cfg:     cfg,
+		fa:      fa,
+		faRAM:   faRAM,
+		mgr:     master.Split("manager"),
+		servers: make(map[int]*rng.Source),
+		master:  master,
+		lastMig: make(map[int]time.Duration),
+	}, nil
+}
+
+// Name implements cluster.Policy.
+func (p *Policy) Name() string { return "ecocloud" }
+
+// Config returns the policy's configuration.
+func (p *Policy) Config() Config { return p.cfg }
+
+// serverSrc returns server id's private stream, creating it on first use.
+func (p *Policy) serverSrc(id int) *rng.Source {
+	s, ok := p.servers[id]
+	if !ok {
+		s = p.master.SplitIndex("server", id)
+		p.servers[id] = s
+	}
+	return s
+}
+
+// inGrace reports whether server s is inside its post-activation grace
+// period at time now.
+func (p *Policy) inGrace(s *dc.Server, now time.Duration) bool {
+	return s.State() == dc.Active && now-s.ActivatedAt < p.cfg.Grace
+}
+
+// OnArrival implements the assignment procedure (§II): the manager invites
+// the active servers; each runs a Bernoulli trial on fa of its local
+// utilization; the manager assigns the VM to one of the available servers
+// uniformly at random; if none is available it wakes a hibernated server.
+func (p *Policy) OnArrival(env cluster.Env, vm *trace.VM) {
+	dest := p.selectDestination(env, p.fa, -1, true, vm.DemandAt(env.Now), vm.RAMMB)
+	if dest == nil {
+		// Total saturation: every server active and none accepting. The VM
+		// still has to run somewhere; degrade gracefully onto the least
+		// utilized active server and record the event (the paper: frequent
+		// occurrences mean the company should buy servers).
+		env.Rec.Saturations++
+		dest = leastUtilized(env.DC.Servers, env.Now)
+		if dest == nil {
+			// No active server at all and nothing to wake: the fleet is
+			// empty, which indicates a mis-sized experiment.
+			panic(fmt.Sprintf("ecocloud: no server available for VM %d in an empty fleet", vm.ID))
+		}
+	}
+	if err := env.DC.Place(vm, dest); err != nil {
+		panic(fmt.Sprintf("ecocloud: placing VM %d: %v", vm.ID, err))
+	}
+}
+
+// OnControl implements the periodic monitoring step: hibernate drained
+// servers, then run the migration procedure on each active server.
+func (p *Policy) OnControl(env cluster.Env) {
+	// Hibernate empty active servers whose grace has expired. Iterate over
+	// a snapshot: Hibernate mutates state, not the slice, but keep it tidy.
+	for _, s := range env.DC.Servers {
+		if s.State() == dc.Active && s.NumVMs() == 0 && !p.inGrace(s, env.Now) {
+			if err := env.DC.Hibernate(s); err != nil {
+				panic(fmt.Sprintf("ecocloud: hibernating empty server %d: %v", s.ID, err))
+			}
+		}
+	}
+	if p.cfg.DisableMigration {
+		return
+	}
+	for _, s := range env.DC.Servers {
+		if s.State() != dc.Active || s.NumVMs() == 0 {
+			continue
+		}
+		u := s.UtilizationAt(env.Now)
+		src := p.serverSrc(s.ID)
+		switch {
+		case u < p.cfg.Tl && !p.inGrace(s, env.Now):
+			// The cooldown paces only consolidation (low) migrations;
+			// overload relief must never wait.
+			if env.Now-p.lastMig[s.ID] < p.cfg.Cooldown && p.lastMig[s.ID] != 0 {
+				continue
+			}
+			if src.Bernoulli(MigrateLowProb(u, p.cfg.Tl, p.cfg.Alpha)) {
+				p.migrateLow(env, s)
+			}
+		case u > p.cfg.Th:
+			if src.Bernoulli(MigrateHighProb(u, p.cfg.Th, p.cfg.Beta)) {
+				p.migrateHigh(env, s, u)
+			}
+		}
+	}
+}
+
+// migrateLow relocates one VM off an under-utilized server. Low migrations
+// never wake a server: activating one machine to hibernate another is a net
+// loss (§II), so if nobody accepts, the VM stays.
+func (p *Policy) migrateLow(env cluster.Env, s *dc.Server) {
+	vms := sortedVMs(s)
+	if len(vms) == 0 {
+		return
+	}
+	vm := vms[p.serverSrc(s.ID).Intn(len(vms))]
+	dest := p.selectDestination(env, p.fa, s.ID, false, vm.DemandAt(env.Now), vm.RAMMB)
+	if dest == nil {
+		return
+	}
+	if err := env.DC.Migrate(vm.ID, dest); err != nil {
+		panic(fmt.Sprintf("ecocloud: low migration of VM %d: %v", vm.ID, err))
+	}
+	// The cooldown clock starts at the successful migration, so a server
+	// that merely failed to find a destination retries at the next scan.
+	p.lastMig[s.ID] = env.Now
+	env.Rec.Migration(env.Now, cluster.MigrationLow)
+	// A server emptied by its last migration hibernates right away.
+	if s.NumVMs() == 0 && !p.inGrace(s, env.Now) {
+		if err := env.DC.Hibernate(s); err != nil {
+			panic(fmt.Sprintf("ecocloud: hibernating drained server %d: %v", s.ID, err))
+		}
+	}
+}
+
+// migrateHigh relocates one VM off an overloaded server. The candidate set
+// is the VMs big enough that removing one brings utilization back under Th;
+// if none qualifies, the largest VM goes (and later trials migrate more).
+// Destination selection runs with the tightened threshold Ta' = 0.9·u so the
+// VM provably lands on a less-loaded server (no ping-pong), and may wake a
+// hibernated server: relieving overload justifies the power.
+func (p *Policy) migrateHigh(env cluster.Env, s *dc.Server, u float64) {
+	vms := sortedVMs(s)
+	if len(vms) == 0 {
+		return
+	}
+	needMHz := (u - p.cfg.Th) * s.CapacityMHz()
+	var candidates []*trace.VM
+	for _, vm := range vms {
+		if vm.DemandAt(env.Now) >= needMHz {
+			candidates = append(candidates, vm)
+		}
+	}
+	var vm *trace.VM
+	if len(candidates) > 0 {
+		vm = candidates[p.serverSrc(s.ID).Intn(len(candidates))]
+	} else {
+		vm = vms[0]
+		for _, v := range vms[1:] {
+			if v.DemandAt(env.Now) > vm.DemandAt(env.Now) {
+				vm = v
+			}
+		}
+	}
+	taPrime := p.cfg.HighMigTaFactor * u
+	if taPrime > p.cfg.Ta {
+		taPrime = p.cfg.Ta
+	}
+	fa, err := p.fa.WithThreshold(taPrime)
+	if err != nil {
+		// taPrime <= 0 can only happen with u ~ 0, unreachable above Th.
+		panic(fmt.Sprintf("ecocloud: tightened threshold %v: %v", taPrime, err))
+	}
+	dest := p.selectDestination(env, fa, s.ID, true, vm.DemandAt(env.Now), vm.RAMMB)
+	if dest == nil {
+		return
+	}
+	if err := env.DC.Migrate(vm.ID, dest); err != nil {
+		panic(fmt.Sprintf("ecocloud: high migration of VM %d: %v", vm.ID, err))
+	}
+	env.Rec.Migration(env.Now, cluster.MigrationHigh)
+}
+
+// selectDestination runs one invitation round: collect the active servers
+// (minus exclude), possibly sample an invitation subset, let each run its
+// Bernoulli trial on fa, and pick uniformly among the accepting ones. With
+// no acceptor and allowWake set, a hibernated server is woken and returned
+// (its grace period starts now). Returns nil when no destination exists.
+//
+// The invitation carries the VM's CPU demand (the manager knows the
+// application's resource requirements, §I), and availability includes the
+// feasibility check u + demand/capacity <= Ta: a server never volunteers for
+// a VM that would push it past the threshold, which matters for the heavy
+// tail of CPU-hungry VMs.
+func (p *Policy) selectDestination(env cluster.Env, fa AssignProbFunc, exclude int, allowWake bool, demandMHz, ramMB float64) *dc.Server {
+	group := -1
+	if g := p.cfg.InviteGroups; g > 1 {
+		group = p.nextGroup % g
+		p.nextGroup++
+	}
+	invited := make([]*dc.Server, 0, len(env.DC.Servers))
+	for _, s := range env.DC.Servers {
+		if s.State() != dc.Active || s.ID == exclude {
+			continue
+		}
+		if group >= 0 && s.ID%p.cfg.InviteGroups != group {
+			continue
+		}
+		invited = append(invited, s)
+	}
+	if k := p.cfg.InviteSubset; k > 0 && len(invited) > k {
+		perm := p.mgr.Perm(len(invited))
+		subset := make([]*dc.Server, k)
+		for i := 0; i < k; i++ {
+			subset[i] = invited[perm[i]]
+		}
+		// Keep ID order so per-server trial draws stay schedule-independent.
+		sort.Slice(subset, func(i, j int) bool { return subset[i].ID < subset[j].ID })
+		invited = subset
+	}
+
+	utils := p.utilizations(invited, env.Now)
+	var accepted []*dc.Server
+	for i, s := range invited {
+		u := utils[i]
+		fits := u+demandMHz/s.CapacityMHz() <= fa.Ta
+		ramU := 0.0
+		if p.cfg.RAM != nil && s.Spec.RAMMB > 0 {
+			ramU = s.RAMUtilization()
+			if ramU+ramMB/s.Spec.RAMMB > p.cfg.RAM.Ta {
+				fits = false
+			}
+		}
+		if p.inGrace(s, env.Now) {
+			// A newly activated server always answers invitations
+			// positively while the VM still fits under the effective
+			// thresholds (§IV).
+			if fits {
+				accepted = append(accepted, s)
+			}
+			continue
+		}
+		if !fits {
+			continue
+		}
+		if p.multiTrial(s, fa, u, ramU) {
+			accepted = append(accepted, s)
+		}
+	}
+	if len(accepted) > 0 {
+		if p.cfg.PickMostLoaded {
+			best := accepted[0]
+			bestU := best.UtilizationAt(env.Now)
+			for _, s := range accepted[1:] {
+				if u := s.UtilizationAt(env.Now); u > bestU {
+					best, bestU = s, u
+				}
+			}
+			return best
+		}
+		return accepted[p.mgr.Intn(len(accepted))]
+	}
+	if !allowWake {
+		return nil
+	}
+	// Wake a hibernated server that can actually fit the VM; if the VM is
+	// too big for every sleeping machine, wake the largest one and degrade.
+	var sleeping, fitting []*dc.Server
+	for _, s := range env.DC.Servers {
+		if s.State() != dc.Hibernated {
+			continue
+		}
+		sleeping = append(sleeping, s)
+		fitsRAM := p.cfg.RAM == nil || s.Spec.RAMMB <= 0 || ramMB <= p.cfg.RAM.Ta*s.Spec.RAMMB
+		if demandMHz <= fa.Ta*s.CapacityMHz() && fitsRAM {
+			fitting = append(fitting, s)
+		}
+	}
+	if len(sleeping) == 0 {
+		return nil
+	}
+	var wake *dc.Server
+	if len(fitting) > 0 {
+		wake = fitting[p.mgr.Intn(len(fitting))]
+	} else {
+		wake = sleeping[0]
+		for _, s := range sleeping[1:] {
+			if s.CapacityMHz() > wake.CapacityMHz() {
+				wake = s
+			}
+		}
+	}
+	if err := env.DC.Activate(wake, env.Now); err != nil {
+		panic(fmt.Sprintf("ecocloud: waking server %d: %v", wake.ID, err))
+	}
+	return wake
+}
+
+// multiTrial runs the availability trial(s) for a server that already
+// passed the feasibility checks: CPU-only (the paper's core algorithm) when
+// the RAM extension is off or the server does not model memory, otherwise
+// one of the two §V strategies.
+func (p *Policy) multiTrial(s *dc.Server, fa AssignProbFunc, u, ramU float64) bool {
+	src := p.serverSrc(s.ID)
+	if p.cfg.RAM == nil || s.Spec.RAMMB <= 0 {
+		return src.Bernoulli(fa.Eval(u))
+	}
+	switch p.cfg.RAM.Strategy {
+	case CriticalPlusConstraints:
+		// Single trial on the most critical resource; the other resource's
+		// threshold was already enforced as a feasibility constraint.
+		if ramU/p.faRAM.Ta > u/fa.Ta {
+			return src.Bernoulli(p.faRAM.Eval(ramU))
+		}
+		return src.Bernoulli(fa.Eval(u))
+	default: // AllTrials
+		return src.Bernoulli(fa.Eval(u)) && src.Bernoulli(p.faRAM.Eval(ramU))
+	}
+}
+
+// utilizations evaluates UtilizationAt for every server, fanning out across
+// GOMAXPROCS workers when the fleet is large and Parallel is set. The
+// result is identical to the sequential path: utilization reads are pure.
+func (p *Policy) utilizations(servers []*dc.Server, now time.Duration) []float64 {
+	out := make([]float64, len(servers))
+	workers := runtime.GOMAXPROCS(0)
+	if !p.cfg.Parallel || len(servers) < 64 || workers < 2 {
+		for i, s := range servers {
+			out[i] = s.UtilizationAt(now)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(servers) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(servers) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(servers) {
+			hi = len(servers)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = servers[i].UtilizationAt(now)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// sortedVMs returns s's VMs in ID order, so random selection by a
+// deterministic stream is itself deterministic (map iteration is not).
+func sortedVMs(s *dc.Server) []*trace.VM {
+	vms := s.VMs()
+	sort.Slice(vms, func(i, j int) bool { return vms[i].ID < vms[j].ID })
+	return vms
+}
+
+// leastUtilized returns the active server with the lowest utilization, or
+// nil if none is active.
+func leastUtilized(servers []*dc.Server, now time.Duration) *dc.Server {
+	var best *dc.Server
+	bestU := 0.0
+	for _, s := range servers {
+		if s.State() != dc.Active {
+			continue
+		}
+		u := s.UtilizationAt(now)
+		if best == nil || u < bestU {
+			best, bestU = s, u
+		}
+	}
+	return best
+}

@@ -1,0 +1,77 @@
+// Package energy turns simulated kilowatt-hours into the quantities the
+// paper's introduction motivates the whole problem with: electricity cost
+// and carbon emissions ("the energy consumed by IT infrastructures in USA
+// was about 61 billion kWh ... 2% of the global carbon emissions"). It is a
+// small reporting layer over cluster results, used by the examples and the
+// comparison experiment.
+package energy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Rates converts energy to money and carbon.
+type Rates struct {
+	USDPerKWh      float64
+	GramsCO2PerKWh float64
+}
+
+// DefaultRates reflects early-2010s US averages: $0.10/kWh industrial
+// electricity and ~500 gCO2/kWh grid intensity.
+func DefaultRates() Rates {
+	return Rates{USDPerKWh: 0.10, GramsCO2PerKWh: 500}
+}
+
+// Validate reports whether the rates are usable.
+func (r Rates) Validate() error {
+	if r.USDPerKWh < 0 || r.GramsCO2PerKWh < 0 {
+		return fmt.Errorf("energy: negative rates %+v", r)
+	}
+	return nil
+}
+
+// Report is the assessment of one measured energy figure.
+type Report struct {
+	EnergyKWh float64
+	CostUSD   float64
+	CO2Kg     float64
+}
+
+// Assess converts kWh under the given rates.
+func Assess(kWh float64, r Rates) Report {
+	return Report{
+		EnergyKWh: kWh,
+		CostUSD:   kWh * r.USDPerKWh,
+		CO2Kg:     kWh * r.GramsCO2PerKWh / 1000,
+	}
+}
+
+// SavingsVs returns the report of what is saved relative to a (larger)
+// baseline: baseline minus this report, component-wise.
+func (rep Report) SavingsVs(baseline Report) Report {
+	return Report{
+		EnergyKWh: baseline.EnergyKWh - rep.EnergyKWh,
+		CostUSD:   baseline.CostUSD - rep.CostUSD,
+		CO2Kg:     baseline.CO2Kg - rep.CO2Kg,
+	}
+}
+
+// Annualize extrapolates a measurement taken over the given horizon to a
+// 365-day year. It panics on a non-positive horizon (a bug, not data).
+func (rep Report) Annualize(horizon time.Duration) Report {
+	if horizon <= 0 {
+		panic(fmt.Sprintf("energy: annualize over %v", horizon))
+	}
+	f := (365 * 24 * time.Hour).Hours() / horizon.Hours()
+	return Report{
+		EnergyKWh: rep.EnergyKWh * f,
+		CostUSD:   rep.CostUSD * f,
+		CO2Kg:     rep.CO2Kg * f,
+	}
+}
+
+// String renders the report compactly.
+func (rep Report) String() string {
+	return fmt.Sprintf("%.1f kWh ($%.2f, %.1f kg CO2)", rep.EnergyKWh, rep.CostUSD, rep.CO2Kg)
+}

@@ -1,0 +1,67 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAssess(t *testing.T) {
+	rep := Assess(1000, Rates{USDPerKWh: 0.10, GramsCO2PerKWh: 500})
+	if rep.EnergyKWh != 1000 {
+		t.Fatalf("energy = %v", rep.EnergyKWh)
+	}
+	if rep.CostUSD != 100 {
+		t.Fatalf("cost = %v, want 100", rep.CostUSD)
+	}
+	if rep.CO2Kg != 500 {
+		t.Fatalf("co2 = %v, want 500 kg", rep.CO2Kg)
+	}
+}
+
+func TestSavings(t *testing.T) {
+	r := DefaultRates()
+	eco := Assess(1634, r)
+	allon := Assess(3609, r)
+	s := eco.SavingsVs(allon)
+	if math.Abs(s.EnergyKWh-1975) > 1e-9 {
+		t.Fatalf("saved energy = %v", s.EnergyKWh)
+	}
+	if s.CostUSD <= 0 || s.CO2Kg <= 0 {
+		t.Fatalf("savings = %+v", s)
+	}
+}
+
+func TestAnnualize(t *testing.T) {
+	rep := Assess(48, DefaultRates()) // 48 kWh over 48 h = 1 kW average
+	year := rep.Annualize(48 * time.Hour)
+	if math.Abs(year.EnergyKWh-8760) > 1e-6 {
+		t.Fatalf("annualized = %v kWh, want 8760", year.EnergyKWh)
+	}
+}
+
+func TestAnnualizePanicsOnZeroHorizon(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero horizon did not panic")
+		}
+	}()
+	Assess(1, DefaultRates()).Annualize(0)
+}
+
+func TestRatesValidate(t *testing.T) {
+	if err := DefaultRates().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Rates{USDPerKWh: -1}).Validate(); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Assess(10, DefaultRates()).String()
+	if !strings.Contains(s, "kWh") || !strings.Contains(s, "CO2") {
+		t.Fatalf("report string = %q", s)
+	}
+}

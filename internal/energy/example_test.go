@@ -1,0 +1,20 @@
+package energy_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/energy"
+)
+
+// Converting a measured 48-hour consumption into cost and carbon, and the
+// saving against the no-consolidation floor, annualized.
+func ExampleAssess() {
+	rates := energy.DefaultRates()
+	eco := energy.Assess(1634, rates)
+	allOn := energy.Assess(3609, rates)
+	saved := eco.SavingsVs(allOn).Annualize(48 * time.Hour)
+	fmt.Println(saved)
+	// Output:
+	// 360437.5 kWh ($36043.75, 180218.8 kg CO2)
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import "repro/internal/ecocloud"
+
+// Fig2 reproduces Figure 2: the assignment probability function fa(u) for
+// p in {2, 3, 5} with Ta = 0.9, on a utilization grid.
+func Fig2() (*Figure, error) {
+	f := &Figure{
+		ID:      "fig2",
+		Title:   "Assignment probability function fa(u), Ta=0.9",
+		Columns: []string{"u", "p=2", "p=3", "p=5"},
+	}
+	var fns []ecocloud.AssignProbFunc
+	for _, p := range []float64{2, 3, 5} {
+		fn, err := ecocloud.NewAssignProb(0.9, p)
+		if err != nil {
+			return nil, err
+		}
+		fns = append(fns, fn)
+	}
+	const steps = 100
+	for i := 0; i <= steps; i++ {
+		u := float64(i) / steps
+		f.Add(u, fns[0].Eval(u), fns[1].Eval(u), fns[2].Eval(u))
+	}
+	for _, fn := range fns {
+		f.Notef("p=%g: peak at u*=%.4f (paper: Ta*p/(p+1))", fn.P, fn.ArgMax())
+	}
+	return f, nil
+}
+
+// Fig3 reproduces Figure 3: the migration probability functions f_l (alpha
+// in {1, 0.25}, Tl = 0.3) and f_h (beta in {1, 0.25}, Th = 0.8).
+func Fig3() (*Figure, error) {
+	f := &Figure{
+		ID:      "fig3",
+		Title:   "Migration probability functions, Tl=0.3 Th=0.8",
+		Columns: []string{"u", "fl_alpha=1", "fl_alpha=0.25", "fh_beta=1", "fh_beta=0.25"},
+	}
+	const steps = 100
+	for i := 0; i <= steps; i++ {
+		u := float64(i) / steps
+		f.Add(u,
+			ecocloud.MigrateLowProb(u, 0.3, 1),
+			ecocloud.MigrateLowProb(u, 0.3, 0.25),
+			ecocloud.MigrateHighProb(u, 0.8, 1),
+			ecocloud.MigrateHighProb(u, 0.8, 0.25),
+		)
+	}
+	f.Notef("f_l falls to 0 at Tl=0.3; f_h rises from 0 at Th=0.8 to 1 at u=1")
+	return f, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// TraceOptions parameterizes the workload-characterization figures.
+type TraceOptions struct {
+	Gen  trace.GenConfig
+	Seed uint64
+	Bins int
+}
+
+// DefaultTraceOptions is the paper scale: 6,000 VMs over 48 hours.
+func DefaultTraceOptions() TraceOptions {
+	return TraceOptions{Gen: trace.DefaultGenConfig(), Seed: 1, Bins: 25}
+}
+
+// Fig4 reproduces Figure 4: the distribution of per-VM average CPU
+// utilization (percent of reference capacity).
+func Fig4(opts TraceOptions) (*Figure, error) {
+	set, err := trace.Generate(opts.Gen, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	h := set.AvgUtilHistogram(opts.Bins)
+	f := &Figure{
+		ID:      "fig4",
+		Title:   "Distribution of the average CPU utilization of the VMs",
+		Columns: []string{"avg_util_pct", "freq"},
+	}
+	for i := 0; i < h.Bins(); i++ {
+		f.Add(h.BinCenter(i), h.Freq(i))
+	}
+	f.Notef("fraction of VMs averaging under 20%%: %.3f (paper: 'under 20%% for most VMs')",
+		h.FractionWithin(0, 20))
+	f.Notef("fraction above 50%% (heavy tail): %.4f", h.FractionWithin(50, 100))
+	return f, nil
+}
+
+// Fig5 reproduces Figure 5: the distribution of the deviation between the
+// punctual and average CPU utilization of the same VM.
+func Fig5(opts TraceOptions) (*Figure, error) {
+	set, err := trace.Generate(opts.Gen, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	bins := opts.Bins
+	if bins%2 == 1 {
+		bins++ // symmetric around zero
+	}
+	h := set.DeviationHistogram(bins)
+	f := &Figure{
+		ID:      "fig5",
+		Title:   "Distribution of the deviation of the CPU utilization",
+		Columns: []string{"deviation_pct", "freq"},
+	}
+	for i := 0; i < h.Bins(); i++ {
+		f.Add(h.BinCenter(i), h.Freq(i))
+	}
+	within := h.FractionWithin(-10, 10)
+	f.Notef("deviations within ±10%%: %.3f (paper: ~94%%)", within)
+	if within < 0.85 {
+		return nil, fmt.Errorf("experiments: fig5 deviations within ±10%% = %.3f, generator mis-calibrated", within)
+	}
+	return f, nil
+}

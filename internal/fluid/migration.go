@@ -1,0 +1,95 @@
+package fluid
+
+import (
+	"time"
+
+	"repro/internal/ecocloud"
+)
+
+// This file extends the fluid model beyond the paper. §IV notes that "the
+// equations cannot model migration events" — the comparison with simulation
+// therefore inhibits migrations. The extension below adds the low-migration
+// procedure as a continuous flux term, which lets the model predict
+// consolidation even without VM churn (the regime where the assignment-only
+// model is inert because nothing ever leaves a server):
+//
+//	du_s/dt = -Nc*mu*u_s + lambda*A_s*fa(u_s)
+//	          - R*f_l(u_s)*q_s*accept        (outflow of a draining server)
+//	          + sum_j R*f_l(u_j)*q_j*accept * w_s   (inflow, fa-weighted)
+//
+// where R is the per-server migration-attempt rate (1/ScanInterval), q_s is
+// the per-event utilization quantum (one VM's worth, VMLoad), accept is the
+// probability the invitation round finds a destination
+// (1 - prod_i(1-fa(u_i)) over the other servers, approximated fleet-wide),
+// and w_s = fa(u_s)/sum fa weights where the migrated mass lands. Mass is
+// conserved exactly: what drains from under-utilized servers reappears on
+// accepting ones. Low migrations never wake servers (fa(0) = 0 keeps
+// hibernated servers out of the inflow weights automatically).
+type MigrationConfig struct {
+	// Enabled switches the flux terms on.
+	Enabled bool
+	// Tl and Alpha parameterize f_l (Eq. 3).
+	Tl    float64
+	Alpha float64
+	// Rate is the migration-attempt rate per server (per hour); the
+	// discrete system attempts once per scan interval.
+	Rate float64
+}
+
+// DefaultMigrationConfig mirrors the §III parameters with one attempt per
+// 5-minute scan.
+func DefaultMigrationConfig() MigrationConfig {
+	return MigrationConfig{
+		Enabled: true,
+		Tl:      0.50,
+		Alpha:   0.25,
+		Rate:    float64(time.Hour / (5 * time.Minute)),
+	}
+}
+
+// migrationFlux adds the low-migration drift to out, given the current fa
+// values in m.f. It is called from deriv after the assignment terms.
+func (m *model) migrationFlux(out, u []float64) {
+	mc := m.cfg.Migration
+	if !mc.Enabled {
+		return
+	}
+	// Fleet-wide acceptance probability for a migrating VM: at least one
+	// other server accepts. Using the full product is a fleet-level
+	// approximation (the exact per-source product excludes only the source,
+	// a 1/Ns correction).
+	prodReject := 1.0
+	sumFa := 0.0
+	for _, fi := range m.f {
+		prodReject *= 1 - fi
+		sumFa += fi
+	}
+	accept := 1 - prodReject
+	if accept <= 0 || sumFa <= 0 {
+		return
+	}
+	q := m.cfg.VMLoad
+	outflowTotal := 0.0
+	for s, us := range u {
+		fl := 0.0
+		if us > 0 { // hibernated servers have nothing to drain
+			fl = ecocloud.MigrateLowProb(us, mc.Tl, mc.Alpha)
+		}
+		if fl == 0 {
+			continue
+		}
+		flow := mc.Rate * fl * q * accept
+		// A server cannot drain more utilization than it has.
+		if flow > mc.Rate*us {
+			flow = mc.Rate * us
+		}
+		out[s] -= flow
+		outflowTotal += flow
+	}
+	if outflowTotal == 0 {
+		return
+	}
+	for s := range u {
+		out[s] += outflowTotal * m.f[s] / sumFa
+	}
+}

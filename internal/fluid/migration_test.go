@@ -1,0 +1,125 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// migrationConfig returns a model with churn frozen (lambda=mu=0) so only
+// the migration flux acts.
+func migrationOnlyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Ns = 20
+	cfg.Lambda = ConstRate(0)
+	cfg.Mu = ConstRate(0)
+	cfg.MassEps = 0 // no activation seeding
+	cfg.Migration = DefaultMigrationConfig()
+	return cfg
+}
+
+func TestMigrationFluxConservesMass(t *testing.T) {
+	cfg := migrationOnlyConfig()
+	m := newModel(cfg)
+	u := make([]float64, cfg.Ns)
+	for i := range u {
+		u[i] = 0.10 + 0.70*float64(i)/float64(cfg.Ns-1)
+	}
+	out := make([]float64, cfg.Ns)
+	m.deriv(out, u, 0)
+	sum := 0.0
+	for _, v := range out {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("migration flux does not conserve mass: net %v", sum)
+	}
+}
+
+func TestMigrationFluxDirection(t *testing.T) {
+	cfg := migrationOnlyConfig()
+	m := newModel(cfg)
+	u := make([]float64, cfg.Ns)
+	for i := range u {
+		u[i] = 0.10 + 0.70*float64(i)/float64(cfg.Ns-1)
+	}
+	out := make([]float64, cfg.Ns)
+	m.deriv(out, u, 0)
+	// The most under-utilized server must drain; the highest-fa server must
+	// gain.
+	if out[0] >= 0 {
+		t.Fatalf("under-utilized server gains mass: %v", out[0])
+	}
+	// Find the server closest to the fa peak (0.675): it should gain.
+	best, bestDist := 0, math.Inf(1)
+	for i, ui := range u {
+		if d := math.Abs(ui - 0.675); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	if out[best] <= 0 {
+		t.Fatalf("peak-fa server does not gain: %v", out[best])
+	}
+	// Servers inside the dead band (above Tl) with low fa change only by
+	// inflow: never negative.
+	for i, ui := range u {
+		if ui >= cfg.Migration.Tl && out[i] < 0 {
+			t.Fatalf("server %d at u=%v (above Tl) lost mass", i, ui)
+		}
+	}
+}
+
+func TestMigrationExtensionConsolidatesWithoutChurn(t *testing.T) {
+	// The paper's assignment-only model is inert without churn: with
+	// lambda=mu=0 every state is an equilibrium. The migration extension
+	// must consolidate anyway (that is its whole point).
+	cfg := migrationOnlyConfig()
+	init := make([]float64, cfg.Ns)
+	total := 0.0
+	for i := range init {
+		init[i] = 0.15 + 0.20*float64(i)/float64(cfg.Ns-1)
+		total += init[i]
+	}
+	res, err := Run(cfg, init, 24*time.Hour, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.U[len(res.U)-1]
+	finalTotal := 0.0
+	for _, v := range final {
+		finalTotal += v
+	}
+	// Mass conservation end to end (hibernation clamp loses at most
+	// Ns*OffU).
+	if math.Abs(finalTotal-total) > float64(cfg.Ns)*cfg.OffU+1e-6 {
+		t.Fatalf("total utilization drifted: %v -> %v", total, finalTotal)
+	}
+	active := res.FinalActive(0.02)
+	if active >= cfg.Ns {
+		t.Fatalf("no consolidation: %d/%d active", active, cfg.Ns)
+	}
+	// ~5 server-equivalents of load: expect it concentrated on few servers,
+	// each pulled out of the draining band (>= Tl) or still mid-drain.
+	if active > cfg.Ns/2 {
+		t.Fatalf("weak consolidation: %d servers still active", active)
+	}
+}
+
+func TestMigrationDisabledModelIsInertWithoutChurn(t *testing.T) {
+	cfg := migrationOnlyConfig()
+	cfg.Migration.Enabled = false
+	init := make([]float64, cfg.Ns)
+	for i := range init {
+		init[i] = 0.15 + 0.20*float64(i)/float64(cfg.Ns-1)
+	}
+	res, err := Run(cfg, init, 6*time.Hour, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.U[len(res.U)-1]
+	for i := range init {
+		if math.Abs(final[i]-init[i]) > 1e-9 {
+			t.Fatalf("paper model moved without churn: server %d %v -> %v", i, init[i], final[i])
+		}
+	}
+}

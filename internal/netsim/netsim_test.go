@@ -1,0 +1,138 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func fixedLatency(d time.Duration) LatencyModel {
+	return LatencyModel{Base: d}
+}
+
+func TestSendDelivers(t *testing.T) {
+	eng := sim.New()
+	net := New(eng, fixedLatency(time.Millisecond), rng.New(1))
+	var got []string
+	net.Register(2, func(m Message) {
+		got = append(got, m.Kind)
+		if m.From != 1 || m.Payload.(int) != 42 {
+			t.Errorf("message mangled: %+v", m)
+		}
+	})
+	net.Send(Message{From: 1, To: 2, Kind: "ping", Payload: 42, Size: 100})
+	eng.Run(0)
+	if len(got) != 1 || got[0] != "ping" {
+		t.Fatalf("delivered = %v", got)
+	}
+	if eng.Now() != time.Millisecond {
+		t.Fatalf("delivery at %v, want 1ms", eng.Now())
+	}
+	if net.Sent != 1 || net.Bytes != 100 {
+		t.Fatalf("counters = %d msgs / %d bytes", net.Sent, net.Bytes)
+	}
+}
+
+func TestSizeProportionalLatency(t *testing.T) {
+	eng := sim.New()
+	lat := LatencyModel{Base: time.Millisecond, PerKB: time.Millisecond}
+	net := New(eng, lat, rng.New(1))
+	var at time.Duration
+	net.Register(1, func(Message) { at = eng.Now() })
+	net.Send(Message{To: 1, Kind: "big", Size: 2048}) // base + 2 KB = 3 ms
+	eng.Run(0)
+	if at != 3*time.Millisecond {
+		t.Fatalf("delivery at %v, want 3ms", at)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	eng := sim.New()
+	lat := LatencyModel{Base: time.Millisecond, Jitter: time.Millisecond}
+	net := New(eng, lat, rng.New(7))
+	var times []time.Duration
+	net.Register(1, func(Message) { times = append(times, eng.Now()) })
+	sent := make([]time.Duration, 0)
+	for i := 0; i < 100; i++ {
+		d := lat.delay(0, rng.New(uint64(i)))
+		sent = append(sent, d)
+	}
+	for _, d := range sent {
+		if d < time.Millisecond || d >= 2*time.Millisecond {
+			t.Fatalf("delay %v outside [1ms, 2ms)", d)
+		}
+	}
+	_ = net
+}
+
+func TestBroadcastCountsOneSend(t *testing.T) {
+	eng := sim.New()
+	net := New(eng, fixedLatency(time.Millisecond), rng.New(3))
+	delivered := 0
+	for id := NodeID(1); id <= 5; id++ {
+		net.Register(id, func(Message) { delivered++ })
+	}
+	net.Broadcast(0, []NodeID{1, 2, 3, 4, 5}, "invite", nil, 64)
+	eng.Run(0)
+	if delivered != 5 {
+		t.Fatalf("delivered = %d, want 5", delivered)
+	}
+	if net.Sent != 1 {
+		t.Fatalf("sent = %d, want 1 (hardware broadcast)", net.Sent)
+	}
+	if net.Bytes != 5*64 {
+		t.Fatalf("bytes = %d, want 320", net.Bytes)
+	}
+}
+
+func TestBroadcastEmptyIsNoop(t *testing.T) {
+	eng := sim.New()
+	net := New(eng, fixedLatency(time.Millisecond), rng.New(3))
+	net.Broadcast(0, nil, "invite", nil, 64)
+	if net.Sent != 0 {
+		t.Fatal("empty broadcast counted a send")
+	}
+}
+
+func TestUnregisteredDeliveryPanics(t *testing.T) {
+	eng := sim.New()
+	net := New(eng, fixedLatency(time.Millisecond), rng.New(1))
+	net.Send(Message{To: 99, Kind: "void"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delivery to unregistered node did not panic")
+		}
+	}()
+	eng.Run(0)
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	eng := sim.New()
+	net := New(eng, fixedLatency(time.Millisecond), rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler accepted")
+		}
+	}()
+	net.Register(1, nil)
+}
+
+func TestRequestReplyRoundTrip(t *testing.T) {
+	eng := sim.New()
+	net := New(eng, fixedLatency(time.Millisecond), rng.New(1))
+	var replyAt time.Duration
+	net.Register(1, func(m Message) { // server: echo
+		net.Send(Message{From: 1, To: m.From, Kind: "reply", Size: 32})
+	})
+	net.Register(0, func(m Message) { replyAt = eng.Now() })
+	net.Send(Message{From: 0, To: 1, Kind: "request", Size: 32})
+	eng.Run(0)
+	if replyAt != 2*time.Millisecond {
+		t.Fatalf("round trip = %v, want 2ms", replyAt)
+	}
+	if net.Sent != 2 {
+		t.Fatalf("sent = %d, want 2", net.Sent)
+	}
+}

@@ -1,0 +1,774 @@
+// Package protocol runs ecoCloud's assignment procedure as the distributed
+// message exchange the paper's Fig. 1 depicts, on the netsim fabric:
+//
+//	manager --INVITE(vm demand, Ta)--> servers     (broadcast)
+//	servers --ACCEPT/REJECT-->         manager     (Bernoulli trial on local u)
+//	manager --ASSIGN(vm)-->            one acceptor
+//	manager --WAKE+ASSIGN(vm)-->       a hibernated server (if nobody accepted)
+//
+// and, when migration scanning is enabled, the migration procedure too:
+//
+//	server  --MIGREQ(vm, kind, u)-->   manager     (local Bernoulli on f_l/f_h)
+//	manager --INVITE(Ta')-->           servers     (tightened round, source excluded)
+//	manager --MIGRATE(dest)-->         source
+//	source  --TRANSFER(vm)-->          dest        (RAM-sized message: live migration)
+//
+// The cluster driver (internal/cluster) abstracts this round into a
+// function call; this package makes the messages, their latency and their
+// count explicit, so the paper's scalability story — broadcast invitations
+// are cheap on a data-center fabric (footnote 1), and decisions stay local —
+// can be measured: messages and microseconds per placement as the fleet
+// grows, under full broadcast, static groups, random subsets, and the
+// silent-reject variant where only available servers answer.
+package protocol
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dc"
+	"repro/internal/ecocloud"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Mode selects who receives each invitation.
+type Mode int
+
+const (
+	// Broadcast invites every active server (the default of §II).
+	Broadcast Mode = iota
+	// Groups partitions the fleet statically and invites one group per
+	// round, rotating (footnote 1).
+	Groups
+	// Subset invites a uniform random subset of active servers.
+	Subset
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Broadcast:
+		return "broadcast"
+	case Groups:
+		return "groups"
+	case Subset:
+		return "subset"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes the protocol cluster.
+type Config struct {
+	// Ta, P and Grace follow ecocloud.Config semantics.
+	Ta    float64
+	P     float64
+	Grace time.Duration
+
+	Mode   Mode
+	Groups int // group count when Mode == Groups
+	Subset int // subset size when Mode == Subset
+
+	// SilentReject drops REJECT replies: only available servers answer, and
+	// the manager closes the round after DecisionWindow instead of counting
+	// replies. Fewer messages, bounded extra latency.
+	SilentReject   bool
+	DecisionWindow time.Duration
+
+	// Migration procedure (off unless EnableMigration). Tl/Th/Alpha/Beta
+	// follow ecocloud.Config; ScanInterval is the local monitoring cadence;
+	// TransferBytes sizes the live-migration TRANSFER message (VM RAM), so
+	// migration latency reflects moving gigabytes, not a control message.
+	EnableMigration bool
+	Tl, Th          float64
+	Alpha, Beta     float64
+	HighMigTaFactor float64
+	ScanInterval    time.Duration
+	TransferBytes   int
+
+	Latency netsim.LatencyModel
+
+	// Message sizes in bytes (headers + payload), for the bandwidth share.
+	InviteSize, ReplySize, AssignSize int
+}
+
+// DefaultConfig returns the §II protocol on a 10 GbE fabric.
+func DefaultConfig() Config {
+	return Config{
+		Ta:              0.90,
+		P:               3,
+		Grace:           30 * time.Minute,
+		Mode:            Broadcast,
+		DecisionWindow:  500 * time.Microsecond,
+		Latency:         netsim.DefaultLatency(),
+		InviteSize:      64,
+		ReplySize:       48,
+		AssignSize:      256,
+		Tl:              0.50,
+		Th:              0.95,
+		Alpha:           0.25,
+		Beta:            0.25,
+		HighMigTaFactor: 0.9,
+		ScanInterval:    5 * time.Minute,
+		TransferBytes:   4 << 30, // 4 GiB of VM RAM
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if _, err := ecocloud.NewAssignProb(c.Ta, c.P); err != nil {
+		return err
+	}
+	switch {
+	case c.Grace < 0:
+		return fmt.Errorf("protocol: Grace = %v", c.Grace)
+	case c.Mode == Groups && c.Groups < 2:
+		return fmt.Errorf("protocol: Groups mode with %d groups", c.Groups)
+	case c.Mode == Subset && c.Subset < 1:
+		return fmt.Errorf("protocol: Subset mode with size %d", c.Subset)
+	case c.SilentReject && c.DecisionWindow <= 0:
+		return fmt.Errorf("protocol: silent reject needs a positive DecisionWindow")
+	case c.InviteSize <= 0 || c.ReplySize <= 0 || c.AssignSize <= 0:
+		return fmt.Errorf("protocol: non-positive message size")
+	}
+	if c.EnableMigration {
+		switch {
+		case c.Tl < 0 || c.Tl >= c.Th || c.Th >= 1:
+			return fmt.Errorf("protocol: migration thresholds Tl=%v Th=%v", c.Tl, c.Th)
+		case c.Alpha <= 0 || c.Beta <= 0:
+			return fmt.Errorf("protocol: migration shapes alpha=%v beta=%v", c.Alpha, c.Beta)
+		case c.HighMigTaFactor <= 0 || c.HighMigTaFactor > 1:
+			return fmt.Errorf("protocol: HighMigTaFactor = %v", c.HighMigTaFactor)
+		case c.ScanInterval <= 0:
+			return fmt.Errorf("protocol: ScanInterval = %v", c.ScanInterval)
+		case c.TransferBytes <= 0:
+			return fmt.Errorf("protocol: TransferBytes = %d", c.TransferBytes)
+		}
+	}
+	return nil
+}
+
+// Stats aggregates what the scalability experiment reports.
+type Stats struct {
+	Placements  int
+	Wakes       int
+	Saturations int
+
+	TotalLatency time.Duration
+	MaxLatency   time.Duration
+
+	// Migration-procedure counters (EnableMigration only).
+	MigrationsLow, MigrationsHigh int
+	MigrationLatency              time.Duration // summed MIGREQ->placed
+	MigrationsAborted             int           // no destination found
+}
+
+// MeanLatency returns the mean placement latency (invite to placed).
+func (s Stats) MeanLatency() time.Duration {
+	if s.Placements == 0 {
+		return 0
+	}
+	return s.TotalLatency / time.Duration(s.Placements)
+}
+
+// message payloads
+type inviteReq struct {
+	roundID int
+	demand  float64
+	ta      float64 // effective acceptance threshold for this round
+}
+
+type reply struct {
+	roundID  int
+	serverID int
+	accept   bool
+}
+
+type assignReq struct {
+	vm    *trace.VM
+	wake  bool
+	start time.Duration // when the round began, for latency accounting
+}
+
+type migReq struct {
+	serverID int
+	vmID     int
+	kind     string // cluster-style "low"/"high"
+	u        float64
+}
+
+type migrateOrder struct {
+	vmID   int
+	destID int
+	kind   string
+	start  time.Duration
+}
+
+type transfer struct {
+	vmID  int
+	kind  string
+	start time.Duration
+}
+
+// round is the manager's state for one invitation round. decide runs when
+// the round closes (all replies in, or the decision window expires).
+type round struct {
+	id       int
+	start    time.Duration
+	expected int
+	replies  int
+	accepts  []int
+	closed   bool
+	decide   func(*round)
+}
+
+const managerNode netsim.NodeID = 0
+
+func serverNode(id int) netsim.NodeID { return netsim.NodeID(id + 1) }
+
+// Cluster wires the manager, the servers, the network and the data center.
+type Cluster struct {
+	cfg Config
+	fa  ecocloud.AssignProbFunc
+
+	eng *sim.Engine
+	net *netsim.Network
+	dc  *dc.DataCenter
+
+	mgr     *rng.Source
+	master  *rng.Source
+	servers map[int]*rng.Source
+
+	rounds    map[int]*round
+	nextRound int
+	nextGroup int
+
+	// inflight marks VMs with a migration in progress so the periodic scan
+	// never double-migrates them.
+	inflight map[int]bool
+
+	Stats Stats
+}
+
+// New builds a protocol cluster over the given fleet. Servers start
+// hibernated, exactly as in the cluster driver.
+func New(cfg Config, specs []dc.Spec, seed uint64) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fa, err := ecocloud.NewAssignProb(cfg.Ta, cfg.P)
+	if err != nil {
+		return nil, err
+	}
+	master := rng.New(seed)
+	eng := sim.New()
+	c := &Cluster{
+		cfg:      cfg,
+		fa:       fa,
+		eng:      eng,
+		net:      netsim.New(eng, cfg.Latency, master.Split("net")),
+		dc:       dc.New(specs),
+		mgr:      master.Split("manager"),
+		master:   master,
+		servers:  make(map[int]*rng.Source),
+		rounds:   make(map[int]*round),
+		inflight: make(map[int]bool),
+	}
+	c.net.Register(managerNode, c.onManagerMessage)
+	for _, s := range c.dc.Servers {
+		s := s
+		c.net.Register(serverNode(s.ID), func(m netsim.Message) { c.onServerMessage(s, m) })
+	}
+	return c, nil
+}
+
+// Engine exposes the simulation engine so callers can schedule arrivals.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// DC exposes the data center for inspection and pre-loading.
+func (c *Cluster) DC() *dc.DataCenter { return c.dc }
+
+// MessagesSent returns the number of wire transmissions so far.
+func (c *Cluster) MessagesSent() int { return c.net.Sent }
+
+// BytesSent returns the bytes delivered so far.
+func (c *Cluster) BytesSent() int64 { return c.net.Bytes }
+
+// serverSrc returns server id's private stream.
+func (c *Cluster) serverSrc(id int) *rng.Source {
+	s, ok := c.servers[id]
+	if !ok {
+		s = c.master.SplitIndex("server", id)
+		c.servers[id] = s
+	}
+	return s
+}
+
+// PlaceVM starts one invitation round for vm at the current virtual time.
+func (c *Cluster) PlaceVM(vm *trace.VM) {
+	now := c.eng.Now()
+	start := now
+	opened := c.openRound(c.fa.Ta, vm.DemandAt(now), -1, func(r *round) {
+		if len(r.accepts) > 0 {
+			id := r.accepts[c.mgr.Intn(len(r.accepts))]
+			c.net.Send(netsim.Message{
+				From: managerNode, To: serverNode(id), Kind: "assign",
+				Payload: assignReq{vm: vm, start: start}, Size: c.cfg.AssignSize,
+			})
+			return
+		}
+		c.wakeAssign(vm, start)
+	})
+	if !opened {
+		// Nobody awake: wake a server directly.
+		c.wakeAssign(vm, now)
+	}
+}
+
+// openRound broadcasts one invitation under the effective threshold ta,
+// excluding server excludeID (-1 for none), and arranges for decide to run
+// at close. It reports false (and calls nothing) when no server can be
+// invited at all.
+func (c *Cluster) openRound(ta, demand float64, excludeID int, decide func(*round)) bool {
+	now := c.eng.Now()
+	targets := c.inviteTargets()
+	if excludeID >= 0 {
+		kept := targets[:0]
+		for _, s := range targets {
+			if s.ID != excludeID {
+				kept = append(kept, s)
+			}
+		}
+		targets = kept
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	c.nextRound++
+	r := &round{id: c.nextRound, start: now, expected: len(targets), decide: decide}
+	c.rounds[r.id] = r
+	nodes := make([]netsim.NodeID, len(targets))
+	for i, s := range targets {
+		nodes[i] = serverNode(s.ID)
+	}
+	c.net.Broadcast(managerNode, nodes, "invite",
+		inviteReq{roundID: r.id, demand: demand, ta: ta}, c.cfg.InviteSize)
+	if c.cfg.SilentReject {
+		c.eng.After(c.cfg.DecisionWindow, "decision-window", func(*sim.Engine) {
+			c.closeRound(r)
+		})
+	}
+	return true
+}
+
+// inviteTargets selects the invited active servers per the configured mode.
+func (c *Cluster) inviteTargets() []*dc.Server {
+	var active []*dc.Server
+	for _, s := range c.dc.Servers {
+		if s.State() == dc.Active {
+			active = append(active, s)
+		}
+	}
+	switch c.cfg.Mode {
+	case Groups:
+		g := c.nextGroup % c.cfg.Groups
+		c.nextGroup++
+		var out []*dc.Server
+		for _, s := range active {
+			if s.ID%c.cfg.Groups == g {
+				out = append(out, s)
+			}
+		}
+		return out
+	case Subset:
+		if len(active) <= c.cfg.Subset {
+			return active
+		}
+		perm := c.mgr.Perm(len(active))
+		out := make([]*dc.Server, c.cfg.Subset)
+		for i := range out {
+			out[i] = active[perm[i]]
+		}
+		return out
+	default:
+		return active
+	}
+}
+
+// onServerMessage handles invite, assign, migrate and transfer messages at
+// a server.
+func (c *Cluster) onServerMessage(s *dc.Server, m netsim.Message) {
+	now := c.eng.Now()
+	switch m.Kind {
+	case "invite":
+		req := m.Payload.(inviteReq)
+		accept := c.serverAccepts(s, now, req.demand, req.ta)
+		if accept || !c.cfg.SilentReject {
+			c.net.Send(netsim.Message{
+				From: serverNode(s.ID), To: managerNode, Kind: "reply",
+				Payload: reply{roundID: req.roundID, serverID: s.ID, accept: accept},
+				Size:    c.cfg.ReplySize,
+			})
+		}
+	case "assign":
+		req := m.Payload.(assignReq)
+		if req.wake && s.State() == dc.Hibernated {
+			// Idempotent: two rounds deciding within the same latency window
+			// can both pick this server while it still looks hibernated to
+			// the manager; the second wake command is a no-op.
+			if err := c.dc.Activate(s, now); err != nil {
+				panic(fmt.Sprintf("protocol: wake-assign on server %d: %v", s.ID, err))
+			}
+		}
+		if err := c.dc.Place(req.vm, s); err != nil {
+			panic(fmt.Sprintf("protocol: placing VM %d on server %d: %v", req.vm.ID, s.ID, err))
+		}
+		c.recordPlacement(req.start, now)
+	case "migrate":
+		// Manager picked a destination for one of this server's VMs: start
+		// the live transfer. The VM keeps running here until cutover (the
+		// paper: migrations are asynchronous and smooth).
+		order := m.Payload.(migrateOrder)
+		if _, ok := c.dc.HostOf(order.vmID); !ok {
+			delete(c.inflight, order.vmID) // VM departed while the round was in flight
+			return
+		}
+		c.net.Send(netsim.Message{
+			From: serverNode(s.ID), To: serverNode(order.destID), Kind: "transfer",
+			Payload: transfer{vmID: order.vmID, kind: order.kind, start: order.start},
+			Size:    c.cfg.TransferBytes,
+		})
+	case "transfer":
+		tr := m.Payload.(transfer)
+		delete(c.inflight, tr.vmID)
+		host, ok := c.dc.HostOf(tr.vmID)
+		if !ok || host == s {
+			return // departed mid-copy, or already here
+		}
+		if s.State() == dc.Hibernated {
+			// Defensive cutover: the wake command races the (much slower)
+			// transfer; arriving first is overwhelmingly likely but not
+			// guaranteed under jitter.
+			if err := c.dc.Activate(s, now); err != nil {
+				panic(fmt.Sprintf("protocol: cutover wake of server %d: %v", s.ID, err))
+			}
+		}
+		if err := c.dc.Migrate(tr.vmID, s); err != nil {
+			panic(fmt.Sprintf("protocol: migrating VM %d to server %d: %v", tr.vmID, s.ID, err))
+		}
+		switch tr.kind {
+		case "high":
+			c.Stats.MigrationsHigh++
+		default:
+			c.Stats.MigrationsLow++
+		}
+		c.Stats.MigrationLatency += now - tr.start
+	case "wake":
+		if s.State() == dc.Hibernated {
+			if err := c.dc.Activate(s, now); err != nil {
+				panic(fmt.Sprintf("protocol: waking server %d: %v", s.ID, err))
+			}
+		}
+	default:
+		panic(fmt.Sprintf("protocol: server %d got unexpected %q", s.ID, m.Kind))
+	}
+}
+
+// serverAccepts runs the local availability decision: feasibility under the
+// round's effective threshold, the grace-period rule, then the Bernoulli
+// trial on fa(u) with that threshold.
+func (c *Cluster) serverAccepts(s *dc.Server, now time.Duration, demand, ta float64) bool {
+	u := s.UtilizationAt(now)
+	if u+demand/s.CapacityMHz() > ta {
+		return false
+	}
+	if now-s.ActivatedAt < c.cfg.Grace {
+		return true
+	}
+	fa := c.fa
+	if ta != c.fa.Ta {
+		tightened, err := c.fa.WithThreshold(ta)
+		if err != nil {
+			return false
+		}
+		fa = tightened
+	}
+	return c.serverSrc(s.ID).Bernoulli(fa.Eval(u))
+}
+
+// onManagerMessage handles reply and migreq messages at the manager.
+func (c *Cluster) onManagerMessage(m netsim.Message) {
+	switch m.Kind {
+	case "reply":
+		rep := m.Payload.(reply)
+		r, ok := c.rounds[rep.roundID]
+		if !ok || r.closed {
+			return // late reply after a silent-reject window closed: ignored
+		}
+		r.replies++
+		if rep.accept {
+			r.accepts = append(r.accepts, rep.serverID)
+		}
+		if !c.cfg.SilentReject && r.replies == r.expected {
+			c.closeRound(r)
+		}
+	case "migreq":
+		c.onMigReq(m.Payload.(migReq))
+	default:
+		panic(fmt.Sprintf("protocol: manager got unexpected %q", m.Kind))
+	}
+}
+
+// closeRound runs the round's decision exactly once.
+func (c *Cluster) closeRound(r *round) {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	delete(c.rounds, r.id)
+	r.decide(r)
+}
+
+// wakeAssign picks a hibernated server that fits the VM and sends it a
+// combined wake+assign ("the manager wakes up an inactive server and
+// requests it to run the new VM", §II). With nothing to wake, the VM lands
+// on the least-utilized active server and a saturation event is recorded.
+func (c *Cluster) wakeAssign(vm *trace.VM, start time.Duration) {
+	now := c.eng.Now()
+	demand := vm.DemandAt(now)
+	var fitting []*dc.Server
+	var largest *dc.Server
+	for _, s := range c.dc.Servers {
+		if s.State() != dc.Hibernated {
+			continue
+		}
+		if largest == nil || s.CapacityMHz() > largest.CapacityMHz() {
+			largest = s
+		}
+		if demand <= c.fa.Ta*s.CapacityMHz() {
+			fitting = append(fitting, s)
+		}
+	}
+	var wake *dc.Server
+	switch {
+	case len(fitting) > 0:
+		wake = fitting[c.mgr.Intn(len(fitting))]
+	case largest != nil:
+		wake = largest
+	}
+	if wake != nil {
+		c.Stats.Wakes++
+		c.net.Send(netsim.Message{
+			From: managerNode, To: serverNode(wake.ID), Kind: "assign",
+			Payload: assignReq{vm: vm, wake: true, start: start}, Size: c.cfg.AssignSize,
+		})
+		return
+	}
+	// Total saturation: degrade onto the least-utilized active server.
+	c.Stats.Saturations++
+	var best *dc.Server
+	bestU := 0.0
+	for _, s := range c.dc.Servers {
+		if s.State() != dc.Active {
+			continue
+		}
+		if u := s.UtilizationAt(now); best == nil || u < bestU {
+			best, bestU = s, u
+		}
+	}
+	if best == nil {
+		panic(fmt.Sprintf("protocol: no server at all for VM %d", vm.ID))
+	}
+	c.net.Send(netsim.Message{
+		From: managerNode, To: serverNode(best.ID), Kind: "assign",
+		Payload: assignReq{vm: vm, start: start}, Size: c.cfg.AssignSize,
+	})
+}
+
+// recordPlacement updates latency statistics when an assign lands: the
+// placement latency spans from the round's first invitation to the VM
+// actually running on its server.
+func (c *Cluster) recordPlacement(start, now time.Duration) {
+	lat := now - start
+	c.Stats.Placements++
+	c.Stats.TotalLatency += lat
+	if lat > c.Stats.MaxLatency {
+		c.Stats.MaxLatency = lat
+	}
+}
+
+// StartMigrationScan arms the periodic local monitoring on every server
+// (§II: "each server monitors its CPU utilization ... and checks if it is
+// between two specified thresholds"). Each tick, every active server runs
+// its Bernoulli trial locally and, on success, sends one MIGREQ to the
+// manager. The scan also hibernates servers drained empty, mirroring the
+// cluster driver. Requires EnableMigration.
+func (c *Cluster) StartMigrationScan() {
+	if !c.cfg.EnableMigration {
+		panic("protocol: StartMigrationScan without EnableMigration")
+	}
+	c.eng.Every(c.cfg.ScanInterval, c.cfg.ScanInterval, "migration-scan", func(*sim.Engine) {
+		now := c.eng.Now()
+		for _, s := range c.dc.Servers {
+			if s.State() != dc.Active {
+				continue
+			}
+			if s.NumVMs() == 0 {
+				if now-s.ActivatedAt >= c.cfg.Grace {
+					if err := c.dc.Hibernate(s); err != nil {
+						panic(fmt.Sprintf("protocol: hibernating server %d: %v", s.ID, err))
+					}
+				}
+				continue
+			}
+			u := s.UtilizationAt(now)
+			src := c.serverSrc(s.ID)
+			switch {
+			case u < c.cfg.Tl && now-s.ActivatedAt >= c.cfg.Grace:
+				if src.Bernoulli(ecocloud.MigrateLowProb(u, c.cfg.Tl, c.cfg.Alpha)) {
+					c.sendMigReq(s, now, u, "low")
+				}
+			case u > c.cfg.Th:
+				if src.Bernoulli(ecocloud.MigrateHighProb(u, c.cfg.Th, c.cfg.Beta)) {
+					c.sendMigReq(s, now, u, "high")
+				}
+			}
+		}
+	})
+}
+
+// sendMigReq picks the VM to move (the §II selection rules) and asks the
+// manager for a destination.
+func (c *Cluster) sendMigReq(s *dc.Server, now time.Duration, u float64, kind string) {
+	vms := s.VMs() // ID-sorted
+	var candidates []*trace.VM
+	for _, vm := range vms {
+		if c.inflight[vm.ID] {
+			continue
+		}
+		candidates = append(candidates, vm)
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	var vm *trace.VM
+	if kind == "high" {
+		need := (u - c.cfg.Th) * s.CapacityMHz()
+		var big []*trace.VM
+		for _, v := range candidates {
+			if v.DemandAt(now) >= need {
+				big = append(big, v)
+			}
+		}
+		if len(big) > 0 {
+			vm = big[c.serverSrc(s.ID).Intn(len(big))]
+		} else {
+			vm = candidates[0]
+			for _, v := range candidates[1:] {
+				if v.DemandAt(now) > vm.DemandAt(now) {
+					vm = v
+				}
+			}
+		}
+	} else {
+		vm = candidates[c.serverSrc(s.ID).Intn(len(candidates))]
+	}
+	c.inflight[vm.ID] = true
+	c.net.Send(netsim.Message{
+		From: serverNode(s.ID), To: managerNode, Kind: "migreq",
+		Payload: migReq{serverID: s.ID, vmID: vm.ID, kind: kind, u: u},
+		Size:    c.cfg.ReplySize,
+	})
+}
+
+// onMigReq is the manager's side of the migration procedure: a tightened
+// invitation round excluding the source; high migrations may wake a server,
+// low migrations never do (§II's two differences).
+func (c *Cluster) onMigReq(req migReq) {
+	host, ok := c.dc.HostOf(req.vmID)
+	if !ok || host.ID != req.serverID {
+		delete(c.inflight, req.vmID) // VM departed or already moved
+		return
+	}
+	now := c.eng.Now()
+	vm := findVM(host, req.vmID)
+	if vm == nil {
+		delete(c.inflight, req.vmID)
+		return
+	}
+	demand := vm.DemandAt(now)
+	ta := c.fa.Ta
+	if req.kind == "high" {
+		ta = c.cfg.HighMigTaFactor * req.u
+		if ta > c.fa.Ta {
+			ta = c.fa.Ta
+		}
+	}
+	start := now
+	noAcceptor := func() {
+		if req.kind == "high" {
+			if wake := c.pickWake(demand, ta); wake != nil {
+				c.Stats.Wakes++
+				c.net.Send(netsim.Message{
+					From: managerNode, To: serverNode(wake.ID), Kind: "wake",
+					Payload: nil, Size: c.cfg.AssignSize,
+				})
+				c.net.Send(netsim.Message{
+					From: managerNode, To: serverNode(req.serverID), Kind: "migrate",
+					Payload: migrateOrder{vmID: req.vmID, destID: wake.ID, kind: req.kind, start: start},
+					Size:    c.cfg.AssignSize,
+				})
+				return
+			}
+		}
+		// Low migration with no destination, or nothing to wake: the VM is
+		// not migrated at all (§II).
+		c.Stats.MigrationsAborted++
+		delete(c.inflight, req.vmID)
+	}
+	opened := c.openRound(ta, demand, req.serverID, func(r *round) {
+		if len(r.accepts) > 0 {
+			destID := r.accepts[c.mgr.Intn(len(r.accepts))]
+			c.net.Send(netsim.Message{
+				From: managerNode, To: serverNode(req.serverID), Kind: "migrate",
+				Payload: migrateOrder{vmID: req.vmID, destID: destID, kind: req.kind, start: start},
+				Size:    c.cfg.AssignSize,
+			})
+			return
+		}
+		noAcceptor()
+	})
+	if !opened {
+		// Nobody to invite at all (e.g. the source is the only active
+		// server): same decision as an all-reject round.
+		noAcceptor()
+	}
+}
+
+// pickWake selects a hibernated server that fits the demand under ta
+// (uniformly), or nil.
+func (c *Cluster) pickWake(demand, ta float64) *dc.Server {
+	var fitting []*dc.Server
+	for _, s := range c.dc.Servers {
+		if s.State() == dc.Hibernated && demand <= ta*s.CapacityMHz() {
+			fitting = append(fitting, s)
+		}
+	}
+	if len(fitting) == 0 {
+		return nil
+	}
+	return fitting[c.mgr.Intn(len(fitting))]
+}
+
+// findVM returns the hosted VM with the given ID, or nil.
+func findVM(s *dc.Server, id int) *trace.VM {
+	for _, vm := range s.VMs() {
+		if vm.ID == id {
+			return vm
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package report assembles experiment figures into one self-contained HTML
+// page with inline SVG charts (cmd/ecobench -html). Rendering rules follow
+// the figure shapes: histograms (figs 4–5) become bar charts, time series
+// become line charts, per-server matrices (figs 6/12/13) are summarized as
+// utilization percentile bands, and wide tables fall back to their notes.
+package report
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/svg"
+)
+
+// HTML writes the full report page.
+func HTML(w io.Writer, title string, figures []*experiments.Figure) error {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", html.EscapeString(title))
+	b.WriteString(`<style>
+body { font-family: sans-serif; max-width: 860px; margin: 2em auto; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+ul.notes { color: #444; font-size: 0.92em; }
+figure { margin: 0.5em 0; }
+</style></head><body>` + "\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+
+	for _, f := range figures {
+		fmt.Fprintf(&b, "<h2>%s — %s</h2>\n", html.EscapeString(f.ID), html.EscapeString(f.Title))
+		if len(f.Notes) > 0 {
+			b.WriteString("<ul class=\"notes\">\n")
+			for _, n := range f.Notes {
+				fmt.Fprintf(&b, "<li>%s</li>\n", html.EscapeString(n))
+			}
+			b.WriteString("</ul>\n")
+		}
+		if chart := render(f); chart != "" {
+			b.WriteString("<figure>\n")
+			b.WriteString(chart)
+			b.WriteString("</figure>\n")
+		}
+	}
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// render picks the chart form for a figure, or returns "" when the notes
+// alone carry the content.
+func render(f *experiments.Figure) string {
+	if len(f.Rows) == 0 || len(f.Columns) < 2 {
+		return ""
+	}
+	switch {
+	case isHistogram(f):
+		return svg.Bars(f.Title, f.Columns[0], f.Column(f.Columns[0]), f.Column(f.Columns[1]))
+	case isServerMatrix(f):
+		return percentileBand(f)
+	case len(f.Columns) <= 9 && f.Columns[0] == "time_h":
+		x := f.Column("time_h")
+		var series []svg.Series
+		for _, c := range f.Columns[1:] {
+			series = append(series, svg.Series{Name: c, Y: f.Column(c)})
+		}
+		return svg.LineChart(f.Title, "time (h)", x, series)
+	case len(f.Columns) <= 9 && f.Columns[0] == "u":
+		x := f.Column("u")
+		var series []svg.Series
+		for _, c := range f.Columns[1:] {
+			series = append(series, svg.Series{Name: c, Y: f.Column(c)})
+		}
+		return svg.LineChart(f.Title, "CPU utilization", x, series)
+	default:
+		return "" // tables (comparison, sensitivity, ...) read better as notes
+	}
+}
+
+// isHistogram matches the Fig. 4/5 shape: exactly two columns, the second
+// named freq.
+func isHistogram(f *experiments.Figure) bool {
+	return len(f.Columns) == 2 && f.Columns[1] == "freq"
+}
+
+// isServerMatrix matches the per-server utilization figures (6, 12, 13):
+// time, overall_load, then one column per server.
+func isServerMatrix(f *experiments.Figure) bool {
+	return len(f.Columns) > 9 && f.Columns[0] == "time_h" && len(f.Columns) > 2 &&
+		f.Columns[1] == "overall_load" && strings.HasPrefix(f.Columns[2], "s")
+}
+
+// percentileBand summarizes a per-server matrix as the overall load plus
+// the p10/p50/p90 utilization of servers that carry load at each sample.
+func percentileBand(f *experiments.Figure) string {
+	x := f.Column("time_h")
+	load := f.Column("overall_load")
+	nServers := len(f.Columns) - 2
+	p10 := make([]float64, len(f.Rows))
+	p50 := make([]float64, len(f.Rows))
+	p90 := make([]float64, len(f.Rows))
+	for r, row := range f.Rows {
+		active := make([]float64, 0, nServers)
+		for _, u := range row[2:] {
+			if u > 0.001 {
+				active = append(active, u)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		sort.Float64s(active)
+		p10[r] = quantile(active, 0.10)
+		p50[r] = quantile(active, 0.50)
+		p90[r] = quantile(active, 0.90)
+	}
+	return svg.LineChart(f.Title+" (active-server percentiles)", "time (h)", x, []svg.Series{
+		{Name: "overall load", Y: load},
+		{Name: "p10 active util", Y: p10},
+		{Name: "p50 active util", Y: p50},
+		{Name: "p90 active util", Y: p90},
+	})
+}
+
+// quantile returns the q-quantile of sorted data by nearest rank.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

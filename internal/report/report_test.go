@@ -1,0 +1,93 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func timeSeriesFigure() *experiments.Figure {
+	f := &experiments.Figure{ID: "fig7", Title: "active", Columns: []string{"time_h", "active_servers"}}
+	f.Add(0, 10)
+	f.Add(1, 12)
+	f.Notef("a note")
+	return f
+}
+
+func histogramFigure() *experiments.Figure {
+	f := &experiments.Figure{ID: "fig4", Title: "dist", Columns: []string{"avg_util_pct", "freq"}}
+	f.Add(2.5, 0.4)
+	f.Add(7.5, 0.3)
+	return f
+}
+
+func matrixFigure() *experiments.Figure {
+	cols := []string{"time_h", "overall_load"}
+	for i := 0; i < 12; i++ {
+		cols = append(cols, "s"+string(rune('0'+i%10)))
+	}
+	f := &experiments.Figure{ID: "fig6", Title: "matrix", Columns: cols}
+	row := make([]float64, len(cols))
+	row[0], row[1] = 0, 0.3
+	for i := 2; i < len(cols); i++ {
+		row[i] = 0.1 * float64(i-1)
+	}
+	f.Add(row...)
+	return f
+}
+
+func TestHTMLContainsAllSections(t *testing.T) {
+	var buf bytes.Buffer
+	err := HTML(&buf, "report", []*experiments.Figure{
+		timeSeriesFigure(), histogramFigure(), matrixFigure(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "<h1>report</h1>",
+		"fig7", "fig4", "fig6",
+		"a note", "<svg", "percentiles",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// Three figures, three charts.
+	if got := strings.Count(out, "<svg"); got != 3 {
+		t.Fatalf("charts = %d, want 3", got)
+	}
+}
+
+func TestHTMLEscapes(t *testing.T) {
+	f := &experiments.Figure{ID: "x", Title: `<script>alert(1)</script>`, Columns: []string{"a"}}
+	var buf bytes.Buffer
+	if err := HTML(&buf, `<t>`, []*experiments.Figure{f}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>") {
+		t.Fatal("unescaped HTML injection")
+	}
+}
+
+func TestRenderTableFigureHasNoChart(t *testing.T) {
+	f := &experiments.Figure{ID: "comparison", Title: "t",
+		Columns: []string{"policy_idx", "energy_kwh"}}
+	f.Add(0, 1)
+	if render(f) != "" {
+		t.Fatal("table figure rendered a chart")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5}
+	if quantile(data, 0) != 1 || quantile(data, 1) != 5 || quantile(data, 0.5) != 3 {
+		t.Fatal("quantile wrong")
+	}
+	if quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+}

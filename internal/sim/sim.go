@@ -1,0 +1,139 @@
+// Package sim is a minimal discrete-event simulation engine: a virtual clock
+// and a priority queue of timestamped events. Time is carried as
+// time.Duration since the start of the simulation, which keeps arithmetic
+// exact for the 5-minute trace epochs the experiments use.
+//
+// The engine is deliberately single-threaded: handlers run one at a time in
+// timestamp order (FIFO among equal timestamps), which makes runs reproducible
+// and makes the state mutated by handlers race-free by construction.
+// Parallelism, where profitable, lives *inside* a handler (e.g. fanning an
+// invitation round across servers) and joins before the handler returns.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Handler is a callback invoked when its event fires. The engine passes
+// itself so handlers can schedule follow-up events.
+type Handler func(e *Engine)
+
+type event struct {
+	at   time.Duration
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	fn   Handler
+	name string
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the pending event queue.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// Processed counts events dispatched so far; useful for tests and stats.
+	processed uint64
+}
+
+// New returns an engine with the clock at zero and no pending events.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Processed returns the number of events dispatched so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at absolute virtual time at. Scheduling in the
+// past (before Now) is a programming error and panics.
+func (e *Engine) Schedule(at time.Duration, name string, fn Handler) {
+	if fn == nil {
+		panic("sim: Schedule with nil handler")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn, name: name})
+}
+
+// After enqueues fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, name string, fn Handler) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After with negative delay %v", d))
+	}
+	e.Schedule(e.now+d, name, fn)
+}
+
+// Every schedules fn to run now+first and then every period thereafter, until
+// the engine stops or fn's returned cancel function is called.
+func (e *Engine) Every(first, period time.Duration, name string, fn Handler) (cancel func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Every with non-positive period %v", period))
+	}
+	cancelled := false
+	var tick Handler
+	tick = func(en *Engine) {
+		if cancelled {
+			return
+		}
+		fn(en)
+		if !cancelled && !en.stopped {
+			en.After(period, name, tick)
+		}
+	}
+	e.After(first, name, tick)
+	return func() { cancelled = true }
+}
+
+// Stop makes Run return after the currently executing handler (if any)
+// finishes. Pending events are discarded by Run.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events in timestamp order until the queue is empty, the
+// horizon is exceeded (events strictly after horizon remain unprocessed), or
+// Stop is called. A non-positive horizon means "no horizon". The clock is
+// left at the time of the last dispatched event, or at the horizon when the
+// horizon cut the run short.
+func (e *Engine) Run(horizon time.Duration) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if horizon > 0 && next.at > horizon {
+			e.now = horizon
+			return
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.processed++
+		next.fn(e)
+	}
+	if horizon > 0 && e.now < horizon && !e.stopped {
+		e.now = horizon
+	}
+}

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsFireInTimestampOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(3*time.Second, "c", func(*Engine) { order = append(order, 3) })
+	e.Schedule(1*time.Second, "a", func(*Engine) { order = append(order, 1) })
+	e.Schedule(2*time.Second, "b", func(*Engine) { order = append(order, 2) })
+	e.Run(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("dispatch order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("clock = %v, want 3s", e.Now())
+	}
+}
+
+func TestEqualTimestampsFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, "tie", func(*Engine) { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-timestamp order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	e := New()
+	var firedAt time.Duration
+	e.Schedule(5*time.Second, "outer", func(en *Engine) {
+		en.After(2*time.Second, "inner", func(en *Engine) { firedAt = en.Now() })
+	})
+	e.Run(0)
+	if firedAt != 7*time.Second {
+		t.Fatalf("inner fired at %v, want 7s", firedAt)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10*time.Second, "late", func(en *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		en.Schedule(5*time.Second, "past", func(*Engine) {})
+	})
+	e.Run(0)
+}
+
+func TestScheduleNilHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler did not panic")
+		}
+	}()
+	New().Schedule(0, "nil", nil)
+}
+
+func TestHorizonCutsRun(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Every(0, time.Minute, "tick", func(*Engine) { fired++ })
+	e.Run(10 * time.Minute)
+	// Ticks at 0,1,...,10 minutes inclusive.
+	if fired != 11 {
+		t.Fatalf("fired %d ticks, want 11", fired)
+	}
+	if e.Now() != 10*time.Minute {
+		t.Fatalf("clock = %v, want 10m", e.Now())
+	}
+	if e.Pending() == 0 {
+		t.Fatal("periodic event should still be pending past the horizon")
+	}
+}
+
+func TestHorizonAdvancesClockWhenQueueDrains(t *testing.T) {
+	e := New()
+	e.Schedule(time.Second, "only", func(*Engine) {})
+	e.Run(time.Hour)
+	if e.Now() != time.Hour {
+		t.Fatalf("clock = %v, want 1h (horizon)", e.Now())
+	}
+}
+
+func TestEveryCancel(t *testing.T) {
+	e := New()
+	fired := 0
+	var cancel func()
+	cancel = e.Every(0, time.Minute, "tick", func(*Engine) {
+		fired++
+		if fired == 3 {
+			cancel()
+		}
+	})
+	e.Run(time.Hour)
+	if fired != 3 {
+		t.Fatalf("fired %d times after cancel at 3, want 3", fired)
+	}
+}
+
+func TestStopHaltsDispatch(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Every(0, time.Second, "tick", func(en *Engine) {
+		fired++
+		if fired == 5 {
+			en.Stop()
+		}
+	})
+	e.Run(0)
+	if fired != 5 {
+		t.Fatalf("fired %d, want 5", fired)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.Schedule(time.Duration(i)*time.Second, "n", func(*Engine) {})
+	}
+	e.Run(0)
+	if e.Processed() != 7 {
+		t.Fatalf("Processed = %d, want 7", e.Processed())
+	}
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	New().After(-time.Second, "neg", func(*Engine) {})
+}
+
+func TestNonPositivePeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive period did not panic")
+		}
+	}()
+	New().Every(0, 0, "bad", func(*Engine) {})
+}
+
+func TestInterleavedPeriodics(t *testing.T) {
+	e := New()
+	var trace []string
+	e.Every(0, 2*time.Second, "a", func(*Engine) { trace = append(trace, "a") })
+	e.Every(time.Second, 2*time.Second, "b", func(*Engine) { trace = append(trace, "b") })
+	e.Run(4 * time.Second)
+	want := []string{"a", "b", "a", "b", "a"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(time.Duration(j%37)*time.Second, "e", func(*Engine) {})
+		}
+		e.Run(0)
+	}
+}

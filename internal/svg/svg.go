@@ -1,0 +1,228 @@
+// Package svg renders experiment series as standalone SVG charts — line
+// charts and histograms with axes, tick labels and legends — so the HTML
+// report (cmd/ecobench -html) needs no external plotting dependency.
+package svg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// palette cycles through colorblind-safe hues.
+var palette = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9", "#f0e442", "#000000",
+}
+
+const (
+	width   = 720
+	height  = 360
+	marginL = 64
+	marginR = 16
+	marginT = 36
+	marginB = 44
+)
+
+// niceTicks returns ~n human-friendly tick positions covering [lo, hi]
+// using the 1-2-5 progression.
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	rawStep := span / float64(n-1)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch {
+	case rawStep/mag < 1.5:
+		step = 1 * mag
+	case rawStep/mag < 3.5:
+		step = 2 * mag
+	case rawStep/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	first := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := first; v <= hi+step/1e6; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// formatTick renders a tick value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	case av >= 1:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// escape makes text safe inside SVG.
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// LineChart renders the series over the shared x axis. Empty input yields a
+// labeled empty frame rather than an error: report generation never fails
+// on a degenerate figure.
+func LineChart(title, xLabel string, x []float64, series []Series) string {
+	var b strings.Builder
+	openSVG(&b, title)
+	if len(x) == 0 || len(series) == 0 {
+		closeSVG(&b)
+		return b.String()
+	}
+	xmin, xmax := x[0], x[0]
+	for _, v := range x {
+		xmin = math.Min(xmin, v)
+		xmax = math.Max(xmax, v)
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Y {
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if ymin > 0 && ymin < 0.3*ymax {
+		ymin = 0 // anchor near-zero baselines
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	px := func(v float64) float64 {
+		return marginL + (v-xmin)/(xmax-xmin)*(width-marginL-marginR)
+	}
+	py := func(v float64) float64 {
+		return height - marginB - (v-ymin)/(ymax-ymin)*(height-marginT-marginB)
+	}
+
+	axes(&b, xLabel, xmin, xmax, ymin, ymax, px, py)
+
+	for si, s := range series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i, v := range s.Y {
+			if i >= len(x) {
+				break
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x[i]), py(v)))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.6" points="%s"/>`+"\n",
+			color, strings.Join(pts, " "))
+		// Legend entry.
+		lx := float64(marginL + 8 + si*160%560)
+		ly := float64(14 + 14*(si*160/560))
+		fmt.Fprintf(&b, `<rect x="%.0f" y="%.0f" width="10" height="3" fill="%s"/>`+"\n", lx, ly+14, color)
+		fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" font-size="11">%s</text>`+"\n", lx+14, ly+19, escape(s.Name))
+	}
+	closeSVG(&b)
+	return b.String()
+}
+
+// Bars renders a histogram (centers on x, freqs as bar heights).
+func Bars(title, xLabel string, centers, freqs []float64) string {
+	var b strings.Builder
+	openSVG(&b, title)
+	if len(centers) == 0 || len(freqs) == 0 {
+		closeSVG(&b)
+		return b.String()
+	}
+	n := len(centers)
+	if len(freqs) < n {
+		n = len(freqs)
+	}
+	xmin, xmax := centers[0], centers[0]
+	for _, v := range centers[:n] {
+		xmin = math.Min(xmin, v)
+		xmax = math.Max(xmax, v)
+	}
+	ymax := 0.0
+	for _, v := range freqs[:n] {
+		ymax = math.Max(ymax, v)
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	// widen by half a bin on each side
+	bw := (xmax - xmin) / float64(n-1+1)
+	xmin -= bw / 2
+	xmax += bw / 2
+	px := func(v float64) float64 {
+		return marginL + (v-xmin)/(xmax-xmin)*(width-marginL-marginR)
+	}
+	py := func(v float64) float64 {
+		return height - marginB - v/ymax*(height-marginT-marginB)
+	}
+	axes(&b, xLabel, xmin, xmax, 0, ymax, px, py)
+	barW := (width - marginL - marginR) / float64(n) * 0.8
+	for i := 0; i < n; i++ {
+		xc := px(centers[i])
+		top := py(freqs[i])
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" opacity="0.85"/>`+"\n",
+			xc-barW/2, top, barW, float64(height-marginB)-top, palette[0])
+	}
+	closeSVG(&b)
+	return b.String()
+}
+
+func openSVG(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(b, `<text x="%d" y="16" font-size="13" font-weight="bold">%s</text>`+"\n", marginL, escape(title))
+}
+
+func closeSVG(b *strings.Builder) { b.WriteString("</svg>\n") }
+
+// axes draws the frame, ticks and labels.
+func axes(b *strings.Builder, xLabel string, xmin, xmax, ymin, ymax float64, px, py func(float64) float64) {
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#999"/>`+"\n",
+		marginL, marginT, width-marginL-marginR, height-marginT-marginB)
+	for _, t := range niceTicks(xmin, xmax, 8) {
+		x := px(t)
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#ccc"/>`+"\n",
+			x, marginT, x, height-marginB)
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			x, height-marginB+14, formatTick(t))
+	}
+	for _, t := range niceTicks(ymin, ymax, 6) {
+		y := py(t)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+			marginL, y, width-marginR, y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+3, formatTick(t))
+	}
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-size="11" text-anchor="middle">%s</text>`+"\n",
+		(marginL+width-marginR)/2, height-8, escape(xLabel))
+}

@@ -1,0 +1,133 @@
+package svg
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNiceTicks(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		n      int
+		step   float64
+	}{
+		{0, 10, 6, 2},
+		{0, 1, 6, 0.2},
+		{0, 48, 8, 5},
+		{0, 97.3, 6, 20},
+		{-5, 5, 6, 2},
+	}
+	for _, c := range cases {
+		ticks := niceTicks(c.lo, c.hi, c.n)
+		if len(ticks) < 2 {
+			t.Fatalf("[%v,%v]: %d ticks", c.lo, c.hi, len(ticks))
+		}
+		got := ticks[1] - ticks[0]
+		if math.Abs(got-c.step) > 1e-9 {
+			t.Errorf("[%v,%v]: step %v, want %v", c.lo, c.hi, got, c.step)
+		}
+		for _, tk := range ticks {
+			if tk < c.lo-1e-9 || tk > c.hi+1e-9 {
+				t.Errorf("tick %v outside [%v,%v]", tk, c.lo, c.hi)
+			}
+		}
+	}
+}
+
+func TestNiceTicksDegenerate(t *testing.T) {
+	if got := niceTicks(5, 5, 6); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("degenerate range ticks = %v", got)
+	}
+	// Reversed bounds normalize.
+	if got := niceTicks(10, 0, 6); len(got) < 2 {
+		t.Fatalf("reversed range ticks = %v", got)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:         "0",
+		2.5:       "2.5",
+		48:        "48",
+		12000:     "12k",
+		2_500_000: "2.5M",
+		0.02:      "0.02",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestLineChartStructure(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	out := LineChart("active servers", "time (h)", x, []Series{
+		{Name: "active", Y: []float64{10, 20, 15, 12}},
+		{Name: "min", Y: []float64{8, 15, 12, 10}},
+	})
+	for _, want := range []string{"<svg", "</svg>", "polyline", "active servers", "time (h)", "active", "min"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("polylines = %d, want 2", strings.Count(out, "<polyline"))
+	}
+}
+
+func TestLineChartEscapesText(t *testing.T) {
+	out := LineChart(`a<b & "c"`, "x", []float64{0, 1}, []Series{{Name: "<s>", Y: []float64{1, 2}}})
+	if strings.Contains(out, "a<b") || strings.Contains(out, "<s>") {
+		t.Fatal("unescaped text in SVG")
+	}
+	if !strings.Contains(out, "a&lt;b &amp;") {
+		t.Fatal("escaping did not happen")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	out := LineChart("empty", "x", nil, nil)
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("empty chart is not a valid frame")
+	}
+}
+
+func TestBarsStructure(t *testing.T) {
+	out := Bars("hist", "value", []float64{5, 15, 25}, []float64{0.5, 0.3, 0.2})
+	if strings.Count(out, "<rect") < 4 { // background + frame + 3 bars
+		t.Fatalf("rects = %d", strings.Count(out, "<rect"))
+	}
+	if !strings.Contains(out, "hist") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	out := Bars("z", "v", []float64{1, 2}, []float64{0, 0})
+	if !strings.Contains(out, "</svg>") {
+		t.Fatal("all-zero histogram failed to render")
+	}
+}
+
+// Property: charts never emit NaN coordinates for finite inputs.
+func TestQuickNoNaNCoordinates(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		x := make([]float64, len(raw))
+		y := make([]float64, len(raw))
+		for i, v := range raw {
+			x[i] = float64(i)
+			y[i] = float64(v)
+		}
+		out := LineChart("t", "x", x, []Series{{Name: "s", Y: y}})
+		return !strings.Contains(out, "NaN") && !strings.Contains(out, "Inf")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the parser and that
+// anything it accepts round-trips through WriteCSV and parses again to the
+// same shape.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("# ref_capacity_mhz,8000\n1,0,3600000000000,60000000000,5,6\n")
+	f.Add("# ref_capacity_mhz,2400\n")
+	f.Add("")
+	f.Add("# ref_capacity_mhz,8000\n1,0,1,1,0\n2,0,2,1,3.5,4.5\n")
+	f.Add("garbage\n# ref_capacity_mhz,1\n9,5,5,5,0.1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		set, err := ReadCSV(bytes.NewBufferString(input))
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		var buf bytes.Buffer
+		if err := set.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted set failed to serialize: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(again.VMs) != len(set.VMs) {
+			t.Fatalf("round trip changed VM count: %d -> %d", len(set.VMs), len(again.VMs))
+		}
+		for i := range set.VMs {
+			if len(again.VMs[i].Demand) != len(set.VMs[i].Demand) {
+				t.Fatalf("VM %d sample count changed", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteCSV serializes the set in a simple line format (version 2):
+//
+//	# format,2
+//	# ref_capacity_mhz,<cap>
+//	<id>,<start_ns>,<end_ns>,<epoch_ns>,<ram_mb>,<d0>,<d1>,...
+//
+// ReadCSV also accepts the original version-1 lines without the ram_mb
+// field. Demands are written with enough precision to round-trip.
+func (s *Set) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# format,2\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "# ref_capacity_mhz,%g\n", s.RefCapacityMHz); err != nil {
+		return err
+	}
+	for _, vm := range s.VMs {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%g", vm.ID, int64(vm.Start), int64(vm.End), int64(vm.Epoch), vm.RAMMB); err != nil {
+			return err
+		}
+		for _, d := range vm.Demand {
+			if _, err := fmt.Fprintf(bw, ",%g", d); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses the format written by WriteCSV.
+func ReadCSV(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	set := &Set{}
+	line := 0
+	version := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			body := strings.TrimSpace(strings.TrimPrefix(text, "#"))
+			parts := strings.SplitN(body, ",", 2)
+			if len(parts) == 2 && parts[0] == "ref_capacity_mhz" {
+				v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: bad ref capacity: %v", line, err)
+				}
+				set.RefCapacityMHz = v
+			}
+			if len(parts) == 2 && parts[0] == "format" {
+				v, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+				if err != nil || (v != 1 && v != 2) {
+					return nil, fmt.Errorf("trace: line %d: unsupported format %q", line, parts[1])
+				}
+				version = v
+			}
+			continue
+		}
+		fields := strings.Split(text, ",")
+		minFields := 5
+		if version == 2 {
+			minFields = 6
+		}
+		if len(fields) < minFields {
+			return nil, fmt.Errorf("trace: line %d: want >=%d fields, got %d", line, minFields, len(fields))
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad id: %v", line, err)
+		}
+		ints := make([]int64, 3)
+		for i := 0; i < 3; i++ {
+			v, err := strconv.ParseInt(fields[1+i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad time field %d: %v", line, i, err)
+			}
+			ints[i] = v
+		}
+		vm := &VM{
+			ID:     id,
+			Start:  time.Duration(ints[0]),
+			End:    time.Duration(ints[1]),
+			Epoch:  time.Duration(ints[2]),
+			Demand: make([]float64, 0, len(fields)-4),
+		}
+		demandFields := fields[4:]
+		if version == 2 {
+			ram, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil || ram < 0 {
+				return nil, fmt.Errorf("trace: line %d: bad ram_mb %q", line, fields[4])
+			}
+			vm.RAMMB = ram
+			demandFields = fields[5:]
+		}
+		if vm.Epoch <= 0 {
+			return nil, fmt.Errorf("trace: line %d: non-positive epoch %v", line, vm.Epoch)
+		}
+		if vm.End < vm.Start {
+			return nil, fmt.Errorf("trace: line %d: end %v before start %v", line, vm.End, vm.Start)
+		}
+		for _, f := range demandFields {
+			d, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad demand: %v", line, err)
+			}
+			if d < 0 {
+				return nil, fmt.Errorf("trace: line %d: negative demand %v", line, d)
+			}
+			vm.Demand = append(vm.Demand, d)
+		}
+		set.VMs = append(set.VMs, vm)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %v", err)
+	}
+	if set.RefCapacityMHz == 0 {
+		return nil, fmt.Errorf("trace: missing ref_capacity_mhz header")
+	}
+	return set, nil
+}

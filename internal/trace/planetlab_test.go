@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/fstest"
+	"time"
+)
+
+func TestReadPlanetLabFile(t *testing.T) {
+	in := "10\n25\n\n0\n100\n"
+	vm, err := ReadPlanetLabFile(strings.NewReader(in), 7, 2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.ID != 7 {
+		t.Fatalf("id = %d", vm.ID)
+	}
+	if len(vm.Demand) != 4 {
+		t.Fatalf("samples = %d, want 4 (blank line skipped)", len(vm.Demand))
+	}
+	want := []float64{240, 600, 0, 2400}
+	for i, w := range want {
+		if vm.Demand[i] != w {
+			t.Fatalf("sample %d = %v, want %v", i, vm.Demand[i], w)
+		}
+	}
+	if vm.Epoch != PlanetLabEpoch {
+		t.Fatalf("epoch = %v", vm.Epoch)
+	}
+	if vm.End != 4*PlanetLabEpoch {
+		t.Fatalf("end = %v", vm.End)
+	}
+	// The step function maps correctly onto the timeline.
+	if got := vm.DemandAt(6 * time.Minute); got != 600 {
+		t.Fatalf("DemandAt(6m) = %v, want 600", got)
+	}
+}
+
+func TestReadPlanetLabFileRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",        // no samples
+		"abc\n",   // not an integer
+		"-5\n",    // negative
+		"101\n",   // above 100
+		"10.5\n",  // float
+		"10 20\n", // two values per line
+	}
+	for i, c := range cases {
+		if _, err := ReadPlanetLabFile(strings.NewReader(c), 0, 2400); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := ReadPlanetLabFile(strings.NewReader("5\n"), 0, 0); err == nil {
+		t.Error("zero reference capacity accepted")
+	}
+}
+
+func TestReadPlanetLabDir(t *testing.T) {
+	fsys := fstest.MapFS{
+		"day1/vm_b":    {Data: []byte("10\n20\n")},
+		"day1/vm_a":    {Data: []byte("30\n40\n")},
+		"day1/.hidden": {Data: []byte("99\n")},
+		"day1/sub/x":   {Data: []byte("1\n")}, // nested: the subdir itself is skipped
+	}
+	set, err := ReadPlanetLabDir(fsys, "day1", 2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.VMs) != 2 {
+		t.Fatalf("VMs = %d, want 2 (hidden and dirs skipped)", len(set.VMs))
+	}
+	// Sorted by name: vm_a first gets ID 0.
+	if set.VMs[0].Demand[0] != 720 { // 30% of 2400
+		t.Fatalf("vm_a sample = %v, want 720", set.VMs[0].Demand[0])
+	}
+	if set.VMs[1].Demand[0] != 240 {
+		t.Fatalf("vm_b sample = %v, want 240", set.VMs[1].Demand[0])
+	}
+	if set.RefCapacityMHz != 2400 {
+		t.Fatalf("ref capacity = %v", set.RefCapacityMHz)
+	}
+}
+
+func TestReadPlanetLabDirErrors(t *testing.T) {
+	fsys := fstest.MapFS{
+		"empty/.keep": {Data: []byte("")},
+		"bad/vm":      {Data: []byte("oops\n")},
+	}
+	if _, err := ReadPlanetLabDir(fsys, "missing", 2400); err == nil {
+		t.Error("missing dir accepted")
+	}
+	if _, err := ReadPlanetLabDir(fsys, "empty", 2400); err == nil {
+		t.Error("empty dir accepted")
+	}
+	if _, err := ReadPlanetLabDir(fsys, "bad", 2400); err == nil {
+		t.Error("corrupt file accepted")
+	}
+}
+
+// A loaded PlanetLab-format set must feed the standard figure pipelines.
+func TestPlanetLabSetDrivesHistograms(t *testing.T) {
+	fsys := fstest.MapFS{}
+	for i := 0; i < 20; i++ {
+		name := "d/vm" + string(rune('a'+i))
+		body := strings.Repeat("5\n", 50) + strings.Repeat("15\n", 10)
+		fsys[name] = &fstest.MapFile{Data: []byte(body)}
+	}
+	set, err := ReadPlanetLabDir(fsys, "d", 2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := set.AvgUtilHistogram(20)
+	if h.Total() != 20 {
+		t.Fatalf("histogram total = %d", h.Total())
+	}
+	if got := set.AliveAt(0); got != 20 {
+		t.Fatalf("alive = %d", got)
+	}
+	if set.TotalDemandAt(0) != 20*0.05*2400 {
+		t.Fatalf("total demand = %v", set.TotalDemandAt(0))
+	}
+}
+
+// FuzzReadPlanetLabFile: arbitrary input never panics; accepted files yield
+// well-formed VMs.
+func FuzzReadPlanetLabFile(f *testing.F) {
+	f.Add("10\n20\n30\n")
+	f.Add("")
+	f.Add("101\n")
+	f.Add("0\n\n\n100\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		vm, err := ReadPlanetLabFile(strings.NewReader(input), 1, 2400)
+		if err != nil {
+			return
+		}
+		if len(vm.Demand) == 0 {
+			t.Fatal("accepted VM with no samples")
+		}
+		for _, d := range vm.Demand {
+			if d < 0 || d > 2400 {
+				t.Fatalf("demand %v out of range", d)
+			}
+		}
+		if vm.End != time.Duration(len(vm.Demand))*PlanetLabEpoch {
+			t.Fatal("End inconsistent with sample count")
+		}
+	})
+}
+
+func TestConcatDays(t *testing.T) {
+	day1 := &Set{RefCapacityMHz: 2400, VMs: []*VM{
+		{ID: 0, Start: 0, End: 2 * PlanetLabEpoch, Epoch: PlanetLabEpoch, Demand: []float64{100, 200}},
+		{ID: 1, Start: 0, End: 2 * PlanetLabEpoch, Epoch: PlanetLabEpoch, Demand: []float64{10, 20}},
+	}}
+	day2 := &Set{RefCapacityMHz: 2400, VMs: []*VM{
+		{ID: 0, Start: 0, End: 3 * PlanetLabEpoch, Epoch: PlanetLabEpoch, Demand: []float64{300, 400, 500}},
+	}}
+	got, err := ConcatDays(day1, day2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.VMs) != 2 {
+		t.Fatalf("VMs = %d", len(got.VMs))
+	}
+	// VM 0: day1 samples then day2 samples.
+	want0 := []float64{100, 200, 300, 400, 500}
+	if len(got.VMs[0].Demand) != len(want0) {
+		t.Fatalf("VM0 samples = %v", got.VMs[0].Demand)
+	}
+	for i, w := range want0 {
+		if got.VMs[0].Demand[i] != w {
+			t.Fatalf("VM0[%d] = %v, want %v", i, got.VMs[0].Demand[i], w)
+		}
+	}
+	// VM 1 pauses during day 2 (zero demand).
+	want1 := []float64{10, 20, 0, 0, 0}
+	for i, w := range want1 {
+		if got.VMs[1].Demand[i] != w {
+			t.Fatalf("VM1[%d] = %v, want %v", i, got.VMs[1].Demand[i], w)
+		}
+	}
+	// The timeline spans both days.
+	if got.VMs[0].End != 5*PlanetLabEpoch {
+		t.Fatalf("end = %v", got.VMs[0].End)
+	}
+	// Demand lookups hit the right day.
+	if got.VMs[0].DemandAt(2*PlanetLabEpoch) != 300 {
+		t.Fatalf("day-2 lookup = %v", got.VMs[0].DemandAt(2*PlanetLabEpoch))
+	}
+}
+
+func TestConcatDaysErrors(t *testing.T) {
+	if _, err := ConcatDays(); err == nil {
+		t.Error("no days accepted")
+	}
+	a := &Set{RefCapacityMHz: 2400, VMs: []*VM{{Epoch: PlanetLabEpoch, End: PlanetLabEpoch, Demand: []float64{1}}}}
+	b := &Set{RefCapacityMHz: 8000, VMs: []*VM{{Epoch: PlanetLabEpoch, End: PlanetLabEpoch, Demand: []float64{1}}}}
+	if _, err := ConcatDays(a, b); err == nil {
+		t.Error("mismatched reference capacity accepted")
+	}
+	c := &Set{RefCapacityMHz: 2400, VMs: []*VM{{Epoch: time.Minute, End: time.Minute, Demand: []float64{1}}}}
+	if _, err := ConcatDays(a, c); err == nil {
+		t.Error("mismatched epoch accepted")
+	}
+}

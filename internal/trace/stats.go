@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// AvgUtilHistogram builds the Fig. 4 histogram: the distribution over VMs of
+// the average CPU utilization, in percent of the reference capacity, binned
+// 0–100% in the given number of bins.
+func (s *Set) AvgUtilHistogram(bins int) *metrics.Histogram {
+	h := metrics.NewHistogram(0, 100, bins)
+	for _, vm := range s.VMs {
+		h.Add(100 * vm.Avg() / s.RefCapacityMHz)
+	}
+	return h
+}
+
+// DeviationHistogram builds the Fig. 5 histogram: the distribution over all
+// (VM, epoch) samples of the deviation between the punctual utilization and
+// the VM's own average, in percentage points of the reference capacity,
+// binned over [-40, 40).
+func (s *Set) DeviationHistogram(bins int) *metrics.Histogram {
+	h := metrics.NewHistogram(-40, 40, bins)
+	for _, vm := range s.VMs {
+		avg := vm.Avg()
+		for _, d := range vm.Demand {
+			h.Add(100 * (d - avg) / s.RefCapacityMHz)
+		}
+	}
+	return h
+}
+
+// Rates estimates the aggregate arrival rate lambda(t) (VMs/hour) and the
+// per-VM departure rate mu(t) (1/hour) on a fixed-width grid over [0,
+// horizon], by counting VM starts and ends per bucket. This is how the paper
+// extracts "the values of lambda(t) and mu(t) from the traces" to feed the
+// fluid model (§IV). The returned slices have one entry per bucket; mu is the
+// departure count divided by the average alive population in the bucket.
+func (s *Set) Rates(horizon, bucket time.Duration) (lambda, mu []float64) {
+	if bucket <= 0 || horizon <= 0 {
+		panic("trace: Rates needs positive horizon and bucket")
+	}
+	n := int(horizon / bucket)
+	if n == 0 {
+		n = 1
+	}
+	starts := make([]float64, n)
+	ends := make([]float64, n)
+	for _, vm := range s.VMs {
+		if vm.Start >= 0 && vm.Start < horizon && vm.Start > 0 {
+			starts[bucketIndex(vm.Start, bucket, n)]++
+		}
+		if vm.End < horizon {
+			ends[bucketIndex(vm.End, bucket, n)]++
+		}
+	}
+	perHour := float64(time.Hour) / float64(bucket)
+	lambda = make([]float64, n)
+	mu = make([]float64, n)
+	for b := 0; b < n; b++ {
+		// Population measured at the bucket start: departures within the
+		// bucket are still alive there, so mu stays finite and unbiased.
+		alive := float64(s.AliveAt(time.Duration(b) * bucket))
+		lambda[b] = starts[b] * perHour
+		if alive > 0 {
+			mu[b] = ends[b] * perHour / alive
+		}
+	}
+	return lambda, mu
+}
+
+func bucketIndex(t, bucket time.Duration, n int) int {
+	i := int(t / bucket)
+	if i >= n {
+		i = n - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// MeanDemandMHz returns the mean constant demand of VMs alive at t, or the
+// mean of DemandAt(t) over alive VMs.
+func (s *Set) MeanDemandMHz(t time.Duration) float64 {
+	sum, n := 0.0, 0
+	for _, vm := range s.VMs {
+		if vm.Alive(t) {
+			sum += vm.DemandAt(t)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

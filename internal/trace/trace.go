@@ -1,0 +1,453 @@
+// Package trace models virtual-machine CPU-demand workloads.
+//
+// The paper drives its simulator with CoMon logs of 6,000 PlanetLab VMs
+// (March–April 2012, 5-minute samples). Those logs are not available, so this
+// package substitutes a synthetic generator calibrated to the paper's own
+// characterization of the data:
+//
+//   - Fig. 4: the distribution of per-VM *average* CPU utilization has its
+//     mode well below 20% of host capacity, with a small heavy tail of
+//     CPU-hungry VMs;
+//   - Fig. 5: the distribution of *deviations* from the per-VM average is
+//     concentrated near zero, with ~94% of samples within ±10 percentage
+//     points of capacity;
+//   - §III: the aggregate load follows a daily pattern, rising in the morning
+//     and falling in the evening.
+//
+// Demands are carried in MHz; the "utilization" percentages of Figs. 4-5 are
+// relative to a reference host capacity of 2,400 MHz — a typical PlanetLab
+// node of the era. The paper measures VM utilization against the *PlanetLab*
+// hosting machine, which is far smaller than the simulated 8-16 GHz servers;
+// keeping the two capacities distinct is what lets ~40 such VMs share one
+// simulated server (§III) while Fig. 4 still shows VMs averaging 5-20%% of
+// their (PlanetLab) host.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// VM is one virtual machine's demand trace. Demand[i] is the CPU demand in
+// MHz during epoch i, where epoch i spans [Start+i*Epoch, Start+(i+1)*Epoch).
+// The VM exists on [Start, End); DemandAt returns 0 outside that interval.
+type VM struct {
+	ID    int
+	Start time.Duration
+	End   time.Duration
+	Epoch time.Duration
+	// Demand holds per-epoch CPU demand in MHz. A single-element slice is a
+	// constant-demand VM (used by the churn workloads of the fluid-model
+	// experiments, which assume constant per-VM load).
+	Demand []float64
+
+	// RAMMB is the VM's (constant) memory footprint in MiB. Zero means
+	// "not modeled": the CPU-only experiments of the paper's §III/§IV leave
+	// it unset, the §V multi-resource extension populates it.
+	RAMMB float64
+}
+
+// Alive reports whether the VM exists at virtual time t.
+func (v *VM) Alive(t time.Duration) bool { return t >= v.Start && t < v.End }
+
+// DemandAt returns the VM's CPU demand in MHz at virtual time t (a step
+// function over epochs, clamped to the last sample) or 0 if the VM is not
+// alive at t.
+func (v *VM) DemandAt(t time.Duration) float64 {
+	if !v.Alive(t) || len(v.Demand) == 0 {
+		return 0
+	}
+	i := int((t - v.Start) / v.Epoch)
+	if i >= len(v.Demand) {
+		i = len(v.Demand) - 1
+	}
+	return v.Demand[i]
+}
+
+// Avg returns the mean demand over the VM's samples (MHz).
+func (v *VM) Avg() float64 {
+	if len(v.Demand) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, d := range v.Demand {
+		sum += d
+	}
+	return sum / float64(len(v.Demand))
+}
+
+// Peak returns the maximum demand over the VM's samples (MHz).
+func (v *VM) Peak() float64 {
+	m := 0.0
+	for _, d := range v.Demand {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Set is a collection of VM traces plus the reference capacity that
+// utilization percentages are measured against.
+type Set struct {
+	VMs []*VM
+	// RefCapacityMHz is the host capacity that per-VM utilization
+	// percentages (Figs. 4–5) are relative to.
+	RefCapacityMHz float64
+}
+
+// TotalDemandAt returns the summed demand (MHz) of all VMs alive at t.
+func (s *Set) TotalDemandAt(t time.Duration) float64 {
+	sum := 0.0
+	for _, v := range s.VMs {
+		sum += v.DemandAt(t)
+	}
+	return sum
+}
+
+// AliveAt returns how many VMs exist at time t.
+func (s *Set) AliveAt(t time.Duration) int {
+	n := 0
+	for _, v := range s.VMs {
+		if v.Alive(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Subset returns a new Set containing n VMs chosen uniformly at random
+// (without replacement) from s, mirroring the paper's "1,500 VMs randomly
+// chosen among the 6,000". It panics if n exceeds the set size.
+func (s *Set) Subset(n int, src *rng.Source) *Set {
+	if n > len(s.VMs) {
+		panic(fmt.Sprintf("trace: subset of %d from %d VMs", n, len(s.VMs)))
+	}
+	perm := src.Perm(len(s.VMs))
+	out := &Set{RefCapacityMHz: s.RefCapacityMHz, VMs: make([]*VM, n)}
+	for i := 0; i < n; i++ {
+		out.VMs[i] = s.VMs[perm[i]]
+	}
+	return out
+}
+
+// GenConfig parameterizes the synthetic PlanetLab-like generator. The zero
+// value is not usable; start from DefaultGenConfig.
+type GenConfig struct {
+	NumVMs  int
+	Horizon time.Duration // trace length; all VMs run for the whole horizon
+	Epoch   time.Duration // sampling period (paper: 5 minutes)
+
+	RefCapacityMHz float64 // capacity utilization is measured against
+
+	// Per-VM average demand: a lognormal body (most VMs small) with a
+	// bounded-Pareto heavy tail (a few CPU-hungry VMs), per Fig. 4.
+	AvgMedianMHz  float64 // median of the lognormal body
+	AvgSigma      float64 // sigma of the underlying normal
+	HeavyFraction float64 // fraction of VMs drawn from the heavy tail
+	HeavyAlpha    float64 // bounded-Pareto shape
+	HeavyLoMHz    float64 // heavy-tail support
+	HeavyHiMHz    float64
+
+	// Daily pattern: demand is modulated by 1 + DailyAmplitude*sin(...),
+	// peaking at PeakHour (fractional hours, local to the trace).
+	DailyAmplitude float64
+	PeakHour       float64
+
+	// Short-term noise: per-VM AR(1) deviations. Sigma is expressed as a
+	// fraction of the VM's average demand; Rho is the one-epoch
+	// autocorrelation. Deviations are what Fig. 5 histograms.
+	NoiseRho       float64
+	NoiseSigmaFrac float64
+
+	// Demand spikes: with probability SpikeProb per epoch a VM demands
+	// SpikeFactor times its base level for that epoch. Spikes model the
+	// sudden surges in the PlanetLab logs that produce the rare overload
+	// events of Fig. 11 and the tails of Fig. 5.
+	SpikeProb   float64
+	SpikeFactor float64
+
+	// Memory model for the §V multi-resource extension. When RAMMedianMB is
+	// positive every VM gets a constant footprint: lognormal(RAMMedianMB,
+	// RAMSigma), anti-correlated with CPU when RAMAntiCorr is set (CPU-bound
+	// VMs tend to be memory-light and vice versa — the complementary mixes
+	// §V argues multi-resource placement exploits). Zero disables the
+	// dimension entirely.
+	RAMMedianMB float64
+	RAMSigma    float64
+	RAMAntiCorr bool
+
+	// MaxDemandMHz caps instantaneous demand (a VM cannot exceed the
+	// reference host capacity).
+	MaxDemandMHz float64
+}
+
+// DefaultGenConfig returns the calibration used for the paper-scale
+// experiments: 6,000 VMs over 48 hours yielding an overall 400-server load
+// that swings between roughly 0.25 and 0.50 through the day, with the Fig. 4
+// and Fig. 5 distribution shapes.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		NumVMs:         6000,
+		Horizon:        48 * time.Hour,
+		Epoch:          5 * time.Minute,
+		RefCapacityMHz: 2400,
+		AvgMedianMHz:   150,
+		AvgSigma:       0.80,
+		HeavyFraction:  0.03,
+		HeavyAlpha:     1.1,
+		HeavyLoMHz:     480,
+		HeavyHiMHz:     2400,
+		DailyAmplitude: 0.25,
+		PeakHour:       14.0,
+		NoiseRho:       0.7,
+		NoiseSigmaFrac: 0.15,
+		SpikeProb:      0.002,
+		SpikeFactor:    3.5,
+		MaxDemandMHz:   2400,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c GenConfig) Validate() error {
+	switch {
+	case c.NumVMs <= 0:
+		return fmt.Errorf("trace: NumVMs = %d", c.NumVMs)
+	case c.Horizon <= 0:
+		return fmt.Errorf("trace: Horizon = %v", c.Horizon)
+	case c.Epoch <= 0 || c.Epoch > c.Horizon:
+		return fmt.Errorf("trace: Epoch = %v with Horizon %v", c.Epoch, c.Horizon)
+	case c.RefCapacityMHz <= 0:
+		return fmt.Errorf("trace: RefCapacityMHz = %v", c.RefCapacityMHz)
+	case c.AvgMedianMHz <= 0 || c.AvgSigma < 0:
+		return fmt.Errorf("trace: average-demand params %v/%v", c.AvgMedianMHz, c.AvgSigma)
+	case c.HeavyFraction < 0 || c.HeavyFraction > 1:
+		return fmt.Errorf("trace: HeavyFraction = %v", c.HeavyFraction)
+	case c.HeavyFraction > 0 && (c.HeavyLoMHz <= 0 || c.HeavyHiMHz <= c.HeavyLoMHz || c.HeavyAlpha <= 0):
+		return fmt.Errorf("trace: heavy-tail params lo=%v hi=%v alpha=%v", c.HeavyLoMHz, c.HeavyHiMHz, c.HeavyAlpha)
+	case c.DailyAmplitude < 0 || c.DailyAmplitude >= 1:
+		return fmt.Errorf("trace: DailyAmplitude = %v", c.DailyAmplitude)
+	case c.NoiseRho < 0 || c.NoiseRho >= 1:
+		return fmt.Errorf("trace: NoiseRho = %v", c.NoiseRho)
+	case c.NoiseSigmaFrac < 0:
+		return fmt.Errorf("trace: NoiseSigmaFrac = %v", c.NoiseSigmaFrac)
+	case c.SpikeProb < 0 || c.SpikeProb > 1:
+		return fmt.Errorf("trace: SpikeProb = %v", c.SpikeProb)
+	case c.SpikeProb > 0 && c.SpikeFactor <= 1:
+		return fmt.Errorf("trace: SpikeFactor = %v must exceed 1", c.SpikeFactor)
+	case c.MaxDemandMHz <= 0:
+		return fmt.Errorf("trace: MaxDemandMHz = %v", c.MaxDemandMHz)
+	case c.RAMMedianMB < 0 || (c.RAMMedianMB > 0 && c.RAMSigma < 0):
+		return fmt.Errorf("trace: RAM params %v/%v", c.RAMMedianMB, c.RAMSigma)
+	}
+	return nil
+}
+
+// dailyFactor returns the multiplicative daily modulation at time t.
+func dailyFactor(t time.Duration, amplitude, peakHour float64) float64 {
+	hours := t.Hours()
+	phase := 2 * math.Pi * (hours - peakHour) / 24
+	return 1 + amplitude*math.Cos(phase)
+}
+
+// Generate synthesizes a trace set. Each VM's samples depend only on (seed,
+// VM index), so the set is reproducible and VM synthesis parallelizes
+// trivially — but NumVMs*samples is cheap enough to stay sequential here.
+func Generate(cfg GenConfig, seed uint64) (*Set, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	master := rng.New(seed)
+	n := int(cfg.Horizon / cfg.Epoch)
+	if n == 0 {
+		n = 1
+	}
+	set := &Set{RefCapacityMHz: cfg.RefCapacityMHz, VMs: make([]*VM, cfg.NumVMs)}
+	mu := math.Log(cfg.AvgMedianMHz)
+	for i := 0; i < cfg.NumVMs; i++ {
+		src := master.SplitIndex("vm", i)
+		avg := src.LogNormal(mu, cfg.AvgSigma)
+		if cfg.HeavyFraction > 0 && src.Bernoulli(cfg.HeavyFraction) {
+			avg = src.Pareto(cfg.HeavyAlpha, cfg.HeavyLoMHz, cfg.HeavyHiMHz)
+		}
+		if avg > cfg.MaxDemandMHz {
+			avg = cfg.MaxDemandMHz
+		}
+		vm := &VM{
+			ID:     i,
+			Start:  0,
+			End:    cfg.Horizon,
+			Epoch:  cfg.Epoch,
+			Demand: make([]float64, n),
+		}
+		if cfg.RAMMedianMB > 0 {
+			vm.RAMMB = src.LogNormal(math.Log(cfg.RAMMedianMB), cfg.RAMSigma)
+			if cfg.RAMAntiCorr {
+				// Scale memory inversely with the VM's CPU appetite around
+				// the median: a CPU-heavy VM gets proportionally less RAM.
+				ratio := cfg.AvgMedianMHz / avg
+				if ratio > 4 {
+					ratio = 4
+				}
+				if ratio < 0.25 {
+					ratio = 0.25
+				}
+				vm.RAMMB *= ratio
+			}
+		}
+		// AR(1) deviation state, stationary start.
+		sigma := cfg.NoiseSigmaFrac * avg
+		dev := 0.0
+		if sigma > 0 && cfg.NoiseRho < 1 {
+			dev = src.NormFloat64() * sigma / math.Sqrt(1-cfg.NoiseRho*cfg.NoiseRho)
+		}
+		for k := 0; k < n; k++ {
+			t := time.Duration(k) * cfg.Epoch
+			base := avg * dailyFactor(t, cfg.DailyAmplitude, cfg.PeakHour)
+			d := base + dev
+			if cfg.SpikeProb > 0 && src.Bernoulli(cfg.SpikeProb) {
+				d *= cfg.SpikeFactor
+			}
+			if d < 0 {
+				d = 0
+			}
+			if d > cfg.MaxDemandMHz {
+				d = cfg.MaxDemandMHz
+			}
+			vm.Demand[k] = d
+			dev = cfg.NoiseRho*dev + sigma*src.NormFloat64()
+		}
+		set.VMs[i] = vm
+	}
+	return set, nil
+}
+
+// ChurnConfig parameterizes an arrival/departure workload for the
+// assignment-only experiments (Figs. 12–13): VMs arrive in a Poisson process
+// whose rate follows the daily pattern, live exponentially long, and carry a
+// constant demand — matching the fluid model's assumptions.
+type ChurnConfig struct {
+	Horizon time.Duration
+
+	// InitialVMs are present at t=0 (the paper pre-loads 1,500).
+	InitialVMs int
+
+	// ArrivalPerHour is the baseline VM arrival rate; it is modulated by the
+	// daily pattern below. MeanLifetime sets the exponential departure rate.
+	ArrivalPerHour float64
+	MeanLifetime   time.Duration
+
+	// Demand distribution for every VM (constant over its life).
+	DemandMedianMHz float64
+	DemandSigma     float64
+	MaxDemandMHz    float64
+
+	// Daily modulation of the arrival rate (same convention as GenConfig).
+	DailyAmplitude float64
+	PeakHour       float64
+
+	RefCapacityMHz float64
+}
+
+// DefaultChurnConfig returns the Fig. 12 scenario: 100 six-core servers
+// preloaded with 1,500 VMs at low per-server load; churn holds the population
+// roughly stationary overnight (lambda/mu = 1000/h * 1.5h = 1500 VMs) and
+// grows it through the morning. The 90-minute mean lifetime is calibrated to
+// the paper's observation that the system reaches its consolidated steady
+// state after about 6 hours: servers drained by the assignment procedure
+// empty out only as their last VMs depart, so consolidation cannot be faster
+// than a few VM lifetimes.
+func DefaultChurnConfig() ChurnConfig {
+	return ChurnConfig{
+		Horizon:         18 * time.Hour,
+		InitialVMs:      1500,
+		ArrivalPerHour:  1000,
+		MeanLifetime:    90 * time.Minute,
+		DemandMedianMHz: 200,
+		DemandSigma:     0.6,
+		MaxDemandMHz:    2400,
+		DailyAmplitude:  0.45,
+		PeakHour:        14.0,
+		RefCapacityMHz:  2400,
+	}
+}
+
+// Validate reports whether the churn configuration is usable.
+func (c ChurnConfig) Validate() error {
+	switch {
+	case c.Horizon <= 0:
+		return fmt.Errorf("trace: churn Horizon = %v", c.Horizon)
+	case c.InitialVMs < 0:
+		return fmt.Errorf("trace: InitialVMs = %d", c.InitialVMs)
+	case c.ArrivalPerHour < 0:
+		return fmt.Errorf("trace: ArrivalPerHour = %v", c.ArrivalPerHour)
+	case c.MeanLifetime <= 0:
+		return fmt.Errorf("trace: MeanLifetime = %v", c.MeanLifetime)
+	case c.DemandMedianMHz <= 0 || c.DemandSigma < 0:
+		return fmt.Errorf("trace: demand params %v/%v", c.DemandMedianMHz, c.DemandSigma)
+	case c.MaxDemandMHz <= 0:
+		return fmt.Errorf("trace: MaxDemandMHz = %v", c.MaxDemandMHz)
+	case c.DailyAmplitude < 0 || c.DailyAmplitude >= 1:
+		return fmt.Errorf("trace: DailyAmplitude = %v", c.DailyAmplitude)
+	case c.RefCapacityMHz <= 0:
+		return fmt.Errorf("trace: RefCapacityMHz = %v", c.RefCapacityMHz)
+	}
+	return nil
+}
+
+// GenerateChurn synthesizes an arrival/departure workload. Initial VMs start
+// at t=0; arrivals follow a non-homogeneous Poisson process (thinning against
+// the daily-modulated rate); lifetimes are exponential. Every VM has a single
+// constant demand sample.
+func GenerateChurn(cfg ChurnConfig, seed uint64) (*Set, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	master := rng.New(seed)
+	demandSrc := master.Split("demand")
+	lifeSrc := master.Split("lifetime")
+	arrSrc := master.Split("arrivals")
+	mu := math.Log(cfg.DemandMedianMHz)
+
+	set := &Set{RefCapacityMHz: cfg.RefCapacityMHz}
+	id := 0
+	newVM := func(start time.Duration) *VM {
+		d := demandSrc.LogNormal(mu, cfg.DemandSigma)
+		if d > cfg.MaxDemandMHz {
+			d = cfg.MaxDemandMHz
+		}
+		life := time.Duration(lifeSrc.ExpFloat64() * float64(cfg.MeanLifetime))
+		end := start + life
+		if end > cfg.Horizon {
+			end = cfg.Horizon
+		}
+		vm := &VM{ID: id, Start: start, End: end, Epoch: cfg.Horizon, Demand: []float64{d}}
+		id++
+		return vm
+	}
+
+	for i := 0; i < cfg.InitialVMs; i++ {
+		set.VMs = append(set.VMs, newVM(0))
+	}
+
+	if cfg.ArrivalPerHour > 0 {
+		// Thinning: the modulated rate never exceeds base*(1+amplitude).
+		maxRate := cfg.ArrivalPerHour * (1 + cfg.DailyAmplitude)
+		t := time.Duration(0)
+		for {
+			gap := arrSrc.ExpFloat64() / maxRate // hours
+			t += time.Duration(gap * float64(time.Hour))
+			if t >= cfg.Horizon {
+				break
+			}
+			rate := cfg.ArrivalPerHour * dailyFactor(t, cfg.DailyAmplitude, cfg.PeakHour)
+			if arrSrc.Float64() < rate/maxRate {
+				set.VMs = append(set.VMs, newVM(t))
+			}
+		}
+	}
+	return set, nil
+}

@@ -1,0 +1,458 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func smallGenConfig() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.NumVMs = 300
+	cfg.Horizon = 12 * time.Hour
+	return cfg
+}
+
+func TestVMDemandAt(t *testing.T) {
+	vm := &VM{
+		ID: 1, Start: time.Hour, End: 3 * time.Hour,
+		Epoch: 30 * time.Minute, Demand: []float64{100, 200, 300, 400},
+	}
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{0, 0},           // before start
+		{time.Hour, 100}, // first epoch
+		{time.Hour + 29*time.Minute, 100},
+		{time.Hour + 30*time.Minute, 200},
+		{2*time.Hour + 59*time.Minute, 400}, // clamped to last sample
+		{3 * time.Hour, 0},                  // departed
+	}
+	for _, c := range cases {
+		if got := vm.DemandAt(c.t); got != c.want {
+			t.Errorf("DemandAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestVMAvgPeak(t *testing.T) {
+	vm := &VM{Epoch: time.Minute, End: time.Hour, Demand: []float64{1, 2, 3}}
+	if vm.Avg() != 2 {
+		t.Fatalf("Avg = %v", vm.Avg())
+	}
+	if vm.Peak() != 3 {
+		t.Fatalf("Peak = %v", vm.Peak())
+	}
+	empty := &VM{}
+	if empty.Avg() != 0 || empty.Peak() != 0 {
+		t.Fatal("empty VM should have zero avg/peak")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := smallGenConfig()
+	a, err := Generate(cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.VMs {
+		for k := range a.VMs[i].Demand {
+			if a.VMs[i].Demand[k] != b.VMs[i].Demand[k] {
+				t.Fatalf("VM %d sample %d differs across identical seeds", i, k)
+			}
+		}
+	}
+	c, err := Generate(cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.VMs[0].Demand[0] == a.VMs[0].Demand[0] && c.VMs[1].Demand[0] == a.VMs[1].Demand[0] {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateSampleCountAndBounds(t *testing.T) {
+	cfg := smallGenConfig()
+	set, err := Generate(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSamples := int(cfg.Horizon / cfg.Epoch)
+	for _, vm := range set.VMs {
+		if len(vm.Demand) != wantSamples {
+			t.Fatalf("VM %d has %d samples, want %d", vm.ID, len(vm.Demand), wantSamples)
+		}
+		for k, d := range vm.Demand {
+			if d < 0 || d > cfg.MaxDemandMHz {
+				t.Fatalf("VM %d sample %d = %v out of [0,%v]", vm.ID, k, d, cfg.MaxDemandMHz)
+			}
+		}
+	}
+}
+
+// Fig. 4 shape: the bulk of VMs average well under 20% of capacity, with a
+// nonzero heavy tail.
+func TestGenerateFig4Shape(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumVMs = 3000
+	cfg.Horizon = 6 * time.Hour
+	set, err := Generate(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := set.AvgUtilHistogram(20) // 5%-wide bins
+	under20 := h.FractionWithin(0, 20)
+	if under20 < 0.85 {
+		t.Fatalf("fraction of VMs averaging <20%% = %v, want >0.85 (Fig. 4)", under20)
+	}
+	over50 := h.FractionWithin(50, 100)
+	if over50 == 0 {
+		t.Fatal("no heavy-tail VMs above 50% (Fig. 4 shows a tail)")
+	}
+	if over50 > 0.10 {
+		t.Fatalf("heavy tail too fat: %v above 50%%", over50)
+	}
+	// The mode should be the lowest bin, as in Fig. 4.
+	mode := 0
+	for i := 1; i < h.Bins(); i++ {
+		if h.Count(i) > h.Count(mode) {
+			mode = i
+		}
+	}
+	if mode != 0 {
+		t.Fatalf("mode bin = %d, want 0 (utilization mode near zero)", mode)
+	}
+}
+
+// Fig. 5 shape: ~94% of deviations within ±10 points of capacity. Our
+// synthetic workload is gentler than PlanetLab, so assert >=0.90.
+func TestGenerateFig5Shape(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumVMs = 1000
+	cfg.Horizon = 12 * time.Hour
+	set, err := Generate(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := set.DeviationHistogram(80)
+	within10 := h.FractionWithin(-10, 10)
+	if within10 < 0.90 {
+		t.Fatalf("deviations within ±10%% = %v, want >=0.90 (paper: ~94%%)", within10)
+	}
+}
+
+// The daily pattern must swing the overall load with a peak near PeakHour.
+func TestGenerateDailyPattern(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumVMs = 2000
+	cfg.Horizon = 24 * time.Hour
+	set, err := Generate(cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	night := set.TotalDemandAt(2 * time.Hour)
+	peak := set.TotalDemandAt(14 * time.Hour)
+	if peak <= night*1.3 {
+		t.Fatalf("peak/night demand ratio = %v, want >1.3", peak/night)
+	}
+}
+
+// Overall-load calibration: with the paper's 400-server mix (one third each
+// of 4/6/8 cores at 2 GHz => 4.8M MHz total) the default 6,000-VM set should
+// load the DC between ~20% and ~55% through the day, as Fig. 6 shows.
+func TestGenerateOverallLoadCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 6000-VM set")
+	}
+	cfg := DefaultGenConfig()
+	set, err := Generate(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const totalCapacity = 400.0 / 3 * (4 + 6 + 8) * 2000 // MHz
+	lo, hi := 1.0, 0.0
+	for h := 0; h < 48; h++ {
+		load := set.TotalDemandAt(time.Duration(h)*time.Hour) / totalCapacity
+		if load < lo {
+			lo = load
+		}
+		if load > hi {
+			hi = load
+		}
+	}
+	if lo < 0.15 || hi > 0.65 {
+		t.Fatalf("overall load range [%v, %v], want within [0.15, 0.65]", lo, hi)
+	}
+	if hi-lo < 0.08 {
+		t.Fatalf("daily swing too flat: [%v, %v]", lo, hi)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []func(*GenConfig){
+		func(c *GenConfig) { c.NumVMs = 0 },
+		func(c *GenConfig) { c.Horizon = 0 },
+		func(c *GenConfig) { c.Epoch = 0 },
+		func(c *GenConfig) { c.Epoch = c.Horizon * 2 },
+		func(c *GenConfig) { c.RefCapacityMHz = 0 },
+		func(c *GenConfig) { c.AvgMedianMHz = -1 },
+		func(c *GenConfig) { c.HeavyFraction = 1.5 },
+		func(c *GenConfig) { c.HeavyHiMHz = c.HeavyLoMHz / 2 },
+		func(c *GenConfig) { c.DailyAmplitude = 1.0 },
+		func(c *GenConfig) { c.NoiseRho = 1.0 },
+		func(c *GenConfig) { c.MaxDemandMHz = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultGenConfig()
+		mutate(&cfg)
+		if _, err := Generate(cfg, 1); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	cfg := smallGenConfig()
+	set, err := Generate(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := set.Subset(50, rng.New(5))
+	if len(sub.VMs) != 50 {
+		t.Fatalf("subset size = %d", len(sub.VMs))
+	}
+	if sub.RefCapacityMHz != set.RefCapacityMHz {
+		t.Fatal("subset lost reference capacity")
+	}
+	seen := map[int]bool{}
+	for _, vm := range sub.VMs {
+		if seen[vm.ID] {
+			t.Fatalf("VM %d sampled twice", vm.ID)
+		}
+		seen[vm.ID] = true
+	}
+}
+
+func TestSubsetPanicsWhenTooLarge(t *testing.T) {
+	set := &Set{VMs: []*VM{{}}, RefCapacityMHz: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized subset did not panic")
+		}
+	}()
+	set.Subset(2, rng.New(1))
+}
+
+func TestGenerateChurnBasics(t *testing.T) {
+	cfg := DefaultChurnConfig()
+	cfg.Horizon = 6 * time.Hour
+	cfg.InitialVMs = 200
+	cfg.ArrivalPerHour = 50
+	set, err := GenerateChurn(cfg, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.VMs) < cfg.InitialVMs {
+		t.Fatalf("only %d VMs generated", len(set.VMs))
+	}
+	initial := 0
+	for _, vm := range set.VMs {
+		if vm.Start == 0 {
+			initial++
+		}
+		if vm.End > cfg.Horizon {
+			t.Fatalf("VM %d ends at %v past horizon", vm.ID, vm.End)
+		}
+		if vm.End < vm.Start {
+			t.Fatalf("VM %d ends before it starts", vm.ID)
+		}
+		if len(vm.Demand) != 1 {
+			t.Fatalf("churn VM %d has %d samples, want 1 (constant demand)", vm.ID, len(vm.Demand))
+		}
+		if vm.Demand[0] <= 0 || vm.Demand[0] > cfg.MaxDemandMHz {
+			t.Fatalf("churn VM %d demand %v out of range", vm.ID, vm.Demand[0])
+		}
+	}
+	if initial != cfg.InitialVMs {
+		t.Fatalf("initial VMs = %d, want %d", initial, cfg.InitialVMs)
+	}
+}
+
+func TestGenerateChurnDeterministic(t *testing.T) {
+	cfg := DefaultChurnConfig()
+	cfg.Horizon = 4 * time.Hour
+	cfg.InitialVMs = 100
+	a, _ := GenerateChurn(cfg, 5)
+	b, _ := GenerateChurn(cfg, 5)
+	if len(a.VMs) != len(b.VMs) {
+		t.Fatalf("population %d vs %d across identical seeds", len(a.VMs), len(b.VMs))
+	}
+	for i := range a.VMs {
+		if a.VMs[i].Start != b.VMs[i].Start || a.VMs[i].Demand[0] != b.VMs[i].Demand[0] {
+			t.Fatalf("VM %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateChurnArrivalRate(t *testing.T) {
+	cfg := DefaultChurnConfig()
+	cfg.Horizon = 24 * time.Hour
+	cfg.InitialVMs = 0
+	cfg.ArrivalPerHour = 200
+	cfg.DailyAmplitude = 0 // homogeneous: empirical rate should match base
+	set, err := GenerateChurn(cfg, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(len(set.VMs)) / 24
+	if math.Abs(got-200) > 20 {
+		t.Fatalf("empirical arrival rate %v/h, want ~200/h", got)
+	}
+}
+
+func TestRates(t *testing.T) {
+	// Hand-built set: 2 VMs at t=0 living 30m; 1 arrival at t=90m living to end.
+	set := &Set{
+		RefCapacityMHz: 8000,
+		VMs: []*VM{
+			{ID: 0, Start: 0, End: 30 * time.Minute, Epoch: time.Hour, Demand: []float64{100}},
+			{ID: 1, Start: 0, End: 30 * time.Minute, Epoch: time.Hour, Demand: []float64{100}},
+			{ID: 2, Start: 90 * time.Minute, End: 2 * time.Hour, Epoch: time.Hour, Demand: []float64{100}},
+		},
+	}
+	lambda, mu := set.Rates(2*time.Hour, time.Hour)
+	if len(lambda) != 2 || len(mu) != 2 {
+		t.Fatalf("rate buckets = %d/%d, want 2/2", len(lambda), len(mu))
+	}
+	if lambda[0] != 0 || lambda[1] != 1 {
+		t.Fatalf("lambda = %v, want [0 1]", lambda)
+	}
+	// Bucket 0: 2 departures, 2 alive at midpoint -> mu = 1/h.
+	if mu[0] != 1 {
+		t.Fatalf("mu[0] = %v, want 1", mu[0])
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := smallGenConfig()
+	cfg.NumVMs = 20
+	set, err := Generate(cfg, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := set.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RefCapacityMHz != set.RefCapacityMHz {
+		t.Fatalf("ref capacity %v != %v", got.RefCapacityMHz, set.RefCapacityMHz)
+	}
+	if len(got.VMs) != len(set.VMs) {
+		t.Fatalf("VM count %d != %d", len(got.VMs), len(set.VMs))
+	}
+	for i := range set.VMs {
+		a, b := set.VMs[i], got.VMs[i]
+		if a.ID != b.ID || a.Start != b.Start || a.End != b.End || a.Epoch != b.Epoch {
+			t.Fatalf("VM %d metadata differs after round trip", i)
+		}
+		for k := range a.Demand {
+			if a.Demand[k] != b.Demand[k] {
+				t.Fatalf("VM %d sample %d: %v != %v", i, k, b.Demand[k], a.Demand[k])
+			}
+		}
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",                                       // no header
+		"# ref_capacity_mhz,8000\n1,2,3\n",       // too few fields
+		"# ref_capacity_mhz,8000\nx,0,1,1,5\n",   // bad id
+		"# ref_capacity_mhz,8000\n1,0,1,0,5\n",   // zero epoch
+		"# ref_capacity_mhz,8000\n1,5,1,1,5\n",   // end before start
+		"# ref_capacity_mhz,8000\n1,0,9,1,-5\n",  // negative demand
+		"# ref_capacity_mhz,8000\n1,0,9,1,abc\n", // bad demand
+		"# ref_capacity_mhz,nope\n",              // bad header value
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(bytes.NewBufferString(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	in := "# ref_capacity_mhz,8000\n\n1,0,3600000000000,60000000000,5,6\n\n"
+	set, err := ReadCSV(bytes.NewBufferString(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.VMs) != 1 || len(set.VMs[0].Demand) != 2 {
+		t.Fatalf("parsed %d VMs", len(set.VMs))
+	}
+}
+
+// Property: DemandAt is always non-negative and zero outside the lifetime.
+func TestQuickDemandAtInvariants(t *testing.T) {
+	f := func(seed uint64, probe uint32) bool {
+		cfg := DefaultChurnConfig()
+		cfg.Horizon = 2 * time.Hour
+		cfg.InitialVMs = 5
+		cfg.ArrivalPerHour = 20
+		set, err := GenerateChurn(cfg, seed)
+		if err != nil {
+			return false
+		}
+		t0 := time.Duration(probe) % (3 * time.Hour)
+		for _, vm := range set.VMs {
+			d := vm.DemandAt(t0)
+			if d < 0 {
+				return false
+			}
+			if !vm.Alive(t0) && d != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGenerate1000VMs24h(b *testing.B) {
+	cfg := DefaultGenConfig()
+	cfg.NumVMs = 1000
+	cfg.Horizon = 24 * time.Hour
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTotalDemandAt(b *testing.B) {
+	cfg := smallGenConfig()
+	set, err := Generate(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += set.TotalDemandAt(time.Duration(i%12) * time.Hour)
+	}
+	_ = sink
+}

@@ -1,0 +1,151 @@
+// Package web is the interactive dashboard behind cmd/ecoweb: a plain
+// net/http server that runs the two-day experiment on demand with
+// user-supplied parameters and renders the result as the same inline-SVG
+// report the CLI produces. Every run is bounded (fleet, VMs, horizon) so a
+// stray form value cannot pin the host.
+package web
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+// Limits bound what a request may ask for.
+type Limits struct {
+	MaxServers int
+	MaxVMs     int
+	MaxHorizon time.Duration
+}
+
+// DefaultLimits allows up to the paper's full scale.
+func DefaultLimits() Limits {
+	return Limits{MaxServers: 400, MaxVMs: 6000, MaxHorizon: 48 * time.Hour}
+}
+
+// Handler serves the dashboard.
+type Handler struct {
+	limits Limits
+}
+
+// New returns the dashboard handler.
+func New(limits Limits) *Handler {
+	return &Handler{limits: limits}
+}
+
+// ServeHTTP implements http.Handler: GET / renders the form, GET /run
+// executes a simulation and streams the report.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/":
+		h.form(w, r)
+	case "/run":
+		h.run(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// form renders the parameter form.
+func (h *Handler) form(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, `<!DOCTYPE html><html><head><meta charset="utf-8"><title>ecoCloud</title>
+<style>body{font-family:sans-serif;max-width:640px;margin:2em auto}label{display:block;margin:0.6em 0}</style>
+</head><body>
+<h1>ecoCloud — run the two-day experiment</h1>
+<form action="/run" method="get">
+<label>servers <input name="servers" type="number" value="100" min="3" max="%d"></label>
+<label>VMs <input name="vms" type="number" value="1500" min="10" max="%d"></label>
+<label>horizon (hours) <input name="hours" type="number" value="24" min="1" max="%d"></label>
+<label>seed <input name="seed" type="number" value="1" min="0"></label>
+<label>Ta <input name="ta" value="0.90"></label>
+<label>p <input name="p" value="3"></label>
+<label>Tl <input name="tl" value="0.50"></label>
+<label>Th <input name="th" value="0.95"></label>
+<button type="submit">run</button>
+</form></body></html>`,
+		h.limits.MaxServers, h.limits.MaxVMs, int(h.limits.MaxHorizon.Hours()))
+}
+
+// run executes one experiment per the query parameters.
+func (h *Handler) run(w http.ResponseWriter, r *http.Request) {
+	opts := experiments.DefaultDailyOptions()
+	var err error
+	if opts.Servers, err = h.intParam(r, "servers", 100, 3, h.limits.MaxServers); err != nil {
+		badRequest(w, err)
+		return
+	}
+	if opts.NumVMs, err = h.intParam(r, "vms", 1500, 10, h.limits.MaxVMs); err != nil {
+		badRequest(w, err)
+		return
+	}
+	hours, err := h.intParam(r, "hours", 24, 1, int(h.limits.MaxHorizon.Hours()))
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	opts.Horizon = time.Duration(hours) * time.Hour
+	seed, err := h.intParam(r, "seed", 1, 0, 1<<31)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	opts.Seed = uint64(seed)
+	for _, p := range []struct {
+		name string
+		dst  *float64
+	}{
+		{"ta", &opts.Eco.Ta}, {"p", &opts.Eco.P}, {"tl", &opts.Eco.Tl}, {"th", &opts.Eco.Th},
+	} {
+		if v := r.URL.Query().Get(p.name); v != "" {
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				badRequest(w, fmt.Errorf("bad %s: %v", p.name, err))
+				return
+			}
+			*p.dst = f
+		}
+	}
+	if err := opts.Eco.Validate(); err != nil {
+		badRequest(w, err)
+		return
+	}
+
+	res, err := experiments.Daily(opts)
+	if err != nil {
+		http.Error(w, html.EscapeString(err.Error()), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	title := fmt.Sprintf("ecoCloud: %d servers, %d VMs, %dh, seed %d",
+		opts.Servers, opts.NumVMs, hours, seed)
+	if err := report.HTML(w, title, res.Figures()); err != nil {
+		// Headers are gone; nothing more to do than log-by-status.
+		return
+	}
+}
+
+// intParam parses a bounded integer query parameter with a default.
+func (h *Handler) intParam(r *http.Request, name string, def, lo, hi int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", name, err)
+	}
+	if n < lo || n > hi {
+		return 0, fmt.Errorf("%s = %d outside [%d, %d]", name, n, lo, hi)
+	}
+	return n, nil
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	http.Error(w, html.EscapeString(err.Error()), http.StatusBadRequest)
+}
