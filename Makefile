@@ -25,9 +25,11 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate every figure CSV at paper scale into ./out.
+# Regenerate every figure CSV at paper scale into ./out, alongside the run
+# manifest (out/run.json) and the JSONL event journal (out/journal.jsonl).
 figures:
 	$(GO) run ./cmd/ecobench -out out -scale 1.0
 
+# Remove run artifacts but keep the checked-in figure CSVs and report.
 clean:
-	rm -rf out
+	rm -f out/run.json out/journal.jsonl out/*.pprof

@@ -10,12 +10,14 @@
 package repro
 
 import (
+	"io"
 	"testing"
 	"time"
 
 	"repro/internal/ecocloud"
 	"repro/internal/experiments"
 	"repro/internal/fluid"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -47,8 +49,8 @@ func BenchmarkFig3MigrationFunctions(b *testing.B) {
 
 func benchTraceOptions() experiments.TraceOptions {
 	opts := experiments.DefaultTraceOptions()
-	opts.Gen.NumVMs = 600
-	opts.Gen.Horizon = 12 * time.Hour
+	opts.NumVMs = 600
+	opts.Horizon = 12 * time.Hour
 	return opts
 }
 
@@ -95,6 +97,38 @@ func BenchmarkFig6DailyRun(b *testing.B) {
 	}
 }
 
+// BenchmarkDaily is the canonical performance gate for the hot path: the
+// same reduced-scale daily run as BenchmarkFig6DailyRun, under the name the
+// docs quote (`go test -bench BenchmarkDaily`). Telemetry is off (Obs nil),
+// so this measures what the instrumentation costs when disabled.
+func BenchmarkDaily(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Daily(benchDailyOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Run.MeanActiveServers <= 0 {
+			b.Fatal("dead run")
+		}
+	}
+}
+
+// BenchmarkDailyInstrumented is the same run with a live recorder and
+// journaling to io.Discard: the price of -progress/-profile telemetry.
+func BenchmarkDailyInstrumented(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchDailyOptions()
+		opts.Obs = obs.NewRecorder(nil, obs.NewJournal(io.Discard))
+		res, err := experiments.Daily(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Run.MeanActiveServers <= 0 {
+			b.Fatal("dead run")
+		}
+	}
+}
+
 // BenchmarkFig7to11Extraction measures materializing the five derived
 // figures from a completed daily run (the run itself is Fig6DailyRun).
 func BenchmarkFig7to11Extraction(b *testing.B) {
@@ -115,9 +149,9 @@ func BenchmarkFig7to11Extraction(b *testing.B) {
 func benchAssignOnlyOptions() experiments.AssignOnlyOptions {
 	opts := experiments.DefaultAssignOnlyOptions()
 	opts.Servers = 25
-	opts.Churn.InitialVMs = 375
+	opts.NumVMs = 375
 	opts.Churn.ArrivalPerHour = 250
-	opts.Churn.Horizon = 10 * time.Hour
+	opts.Horizon = 10 * time.Hour
 	return opts
 }
 
@@ -125,8 +159,11 @@ func benchAssignOnlyOptions() experiments.AssignOnlyOptions {
 // simulation from a non-consolidated start.
 func BenchmarkFig12AssignmentOnlySim(b *testing.B) {
 	opts := benchAssignOnlyOptions()
+	churn := opts.Churn
+	churn.InitialVMs = opts.NumVMs
+	churn.Horizon = opts.Horizon
 	for i := 0; i < b.N; i++ {
-		ws, err := trace.GenerateChurn(opts.Churn, opts.Seed)
+		ws, err := trace.GenerateChurn(churn, opts.Seed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -361,9 +398,9 @@ func BenchmarkFluidApproximationError(b *testing.B) {
 func BenchmarkProtocolDay(b *testing.B) {
 	opts := experiments.DefaultProtocolDayOptions()
 	opts.Servers = 20
-	opts.Churn.InitialVMs = 300
+	opts.NumVMs = 300
 	opts.Churn.ArrivalPerHour = 200
-	opts.Churn.Horizon = 6 * time.Hour
+	opts.Horizon = 6 * time.Hour
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.ProtocolDay(opts); err != nil {
 			b.Fatal(err)

@@ -1,12 +1,15 @@
 // Command ecobench regenerates every table and figure of the paper's
-// evaluation: Figs. 2–3 (probability functions), Figs. 4–5 (workload
-// characterization), Figs. 6–11 (two-day trace-driven run), Figs. 12–13
-// (assignment-only simulation vs fluid model), the §III sensitivity study,
-// and the centralized-baseline comparison. Each figure is written as CSV
-// into -out and summarized on stdout.
+// evaluation by iterating the experiment registry: Figs. 2–3 (probability
+// functions), Figs. 4–5 (workload characterization), Figs. 6–11 (two-day
+// trace-driven run), Figs. 12–13 (assignment-only simulation vs fluid
+// model), the §III sensitivity study, the §V extension, the wire-protocol
+// studies, and the centralized-baseline comparison. Each figure is written
+// as CSV into -out and summarized on stdout; a run manifest (run.json) and a
+// JSONL event journal land in the same directory.
 //
 // -scale shrinks every experiment proportionally (0.1 = 40 servers / 600
-// VMs) for quick runs; -scale 1 is the paper's full size.
+// VMs) for quick runs; -scale 1 is the paper's full size. -experiments runs
+// a named subset in registry order.
 package main
 
 import (
@@ -14,35 +17,70 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
+	"repro/internal/cli"
+	"repro/internal/ecocloud"
 	"repro/internal/experiments"
 	"repro/internal/report"
 )
 
 func main() {
+	eco := ecocloud.DefaultConfig()
+	rc := experiments.RunConfig{Horizon: 48 * time.Hour, Seed: 1}
+	var obsFlags cli.ObsFlags
 	var (
-		outDir    = flag.String("out", "out", "directory for figure CSVs")
+		outDir    = flag.String("out", "out", "directory for figure CSVs, run.json and journal.jsonl")
 		scale     = flag.Float64("scale", 1.0, "experiment scale factor (1.0 = paper size)")
-		seed      = flag.Uint64("seed", 1, "master seed")
-		horizon   = flag.Duration("horizon", 48*time.Hour, "daily-run horizon")
 		exact     = flag.Bool("exact", false, "use the exact combinatorial A_s in the fluid model")
 		skipCmp   = flag.Bool("skip-comparison", false, "skip the baseline comparison (it runs 4 full simulations)")
 		replicate = flag.Int("replicate", 0, "also run the daily experiment across this many seeds and report mean±sd")
+		only      = flag.String("experiments", "", "comma-separated experiment names to run (default: all; see -list)")
+		list      = flag.Bool("list", false, "list the registered experiments and exit")
 		markdown  = flag.String("markdown", "", "also assemble all figures into one Markdown report at this path")
 		htmlPath  = flag.String("html", "", "also assemble all figures into one self-contained HTML report (inline SVG charts)")
 	)
+	fs := flag.CommandLine
+	fs.Uint64Var(&rc.Seed, "seed", rc.Seed, "master seed")
+	fs.DurationVar(&rc.Horizon, "horizon", rc.Horizon, "daily-run and comparison horizon")
+	cli.BindEco(fs, &eco)
+	obsFlags.Bind(fs)
 	flag.Parse()
-	if err := run(*outDir, *scale, *seed, *horizon, *exact, *skipCmp, *replicate, *markdown, *htmlPath); err != nil {
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-14s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+	if err := run(rc, eco, obsFlags, *outDir, *scale, *exact, *skipCmp, *replicate, *only, *markdown, *htmlPath); err != nil {
 		fmt.Fprintln(os.Stderr, "ecobench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(outDir string, scale float64, seed uint64, horizon time.Duration, exact, skipCmp bool, replicate int, markdown, htmlPath string) error {
+func run(rc experiments.RunConfig, eco ecocloud.Config, obsFlags cli.ObsFlags,
+	outDir string, scale float64, exact, skipCmp bool, replicate int, only, markdown, htmlPath string) error {
 	if scale <= 0 || scale > 1 {
 		return fmt.Errorf("scale %v outside (0,1]", scale)
 	}
+	if err := cli.Validate(eco); err != nil {
+		return err
+	}
+	selected, err := selectExperiments(only, skipCmp)
+	if err != nil {
+		return err
+	}
+	scope, err := obsFlags.Start("ecobench", map[string]any{
+		"run_config": rc, "eco": eco, "scale": scale, "exact": exact,
+	}, rc.Seed, outDir, nil)
+	if err != nil {
+		return err
+	}
+	defer scope.Close()
+	rc.Obs = scope.Rec
+
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -65,151 +103,38 @@ func run(outDir string, scale float64, seed uint64, horizon time.Duration, exact
 		return file.Close()
 	}
 
-	// Figs. 2–3: analytic.
-	fig2, err := experiments.Fig2()
-	if err != nil {
-		return err
-	}
-	if err := save(fig2); err != nil {
-		return err
-	}
-	fig3, err := experiments.Fig3()
-	if err != nil {
-		return err
-	}
-	if err := save(fig3); err != nil {
-		return err
-	}
-
-	// Figs. 4–5: workload characterization.
-	topts := experiments.DefaultTraceOptions()
-	topts.Seed = seed
-	topts.Gen.NumVMs = scaled(topts.Gen.NumVMs, scale)
-	fig4, err := experiments.Fig4(topts)
-	if err != nil {
-		return err
-	}
-	if err := save(fig4); err != nil {
-		return err
-	}
-	fig5, err := experiments.Fig5(topts)
-	if err != nil {
-		return err
-	}
-	if err := save(fig5); err != nil {
-		return err
-	}
-
-	// Figs. 6–11: the two-day run.
-	dopts := experiments.DefaultDailyOptions()
-	dopts.Seed = seed
-	dopts.Horizon = horizon
-	dopts.Servers = scaled(dopts.Servers, scale)
-	dopts.NumVMs = scaled(dopts.NumVMs, scale)
-	start := time.Now()
-	daily, err := experiments.Daily(dopts)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("-- daily run (%d servers, %d VMs, %v) took %v\n",
-		dopts.Servers, dopts.NumVMs, dopts.Horizon, time.Since(start).Round(time.Millisecond))
-	for _, f := range daily.Figures() {
-		if err := save(f); err != nil {
-			return err
+	// The daily run's options double as the replication template; keep what
+	// the registry ran so -replicate reruns exactly that.
+	req := experiments.RunRequest{Config: rc, Eco: &eco, Scale: scale, Exact: exact}
+	var daily *experiments.DailyResult
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(req)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		if took := time.Since(start).Round(time.Millisecond); took > time.Second {
+			fmt.Printf("-- %s took %v\n", e.Name, took)
+		}
+		for _, f := range res.Figures {
+			if err := save(f); err != nil {
+				return err
+			}
+		}
+		if d, ok := res.Raw.(*experiments.DailyResult); ok {
+			daily = d
 		}
 	}
-
-	// Figs. 12–13: assignment-only, simulation vs model.
-	aopts := experiments.DefaultAssignOnlyOptions()
-	aopts.Seed = seed
-	aopts.Exact = exact
-	aopts.Servers = scaled(aopts.Servers, scale)
-	aopts.Churn.InitialVMs = scaled(aopts.Churn.InitialVMs, scale)
-	aopts.Churn.ArrivalPerHour *= scale
-	assign, err := experiments.AssignOnly(aopts)
-	if err != nil {
-		return err
-	}
-	if err := save(assign.Fig12()); err != nil {
-		return err
-	}
-	if err := save(assign.Fig13()); err != nil {
-		return err
-	}
-
-	// §IV approximation quality: Eq. 11 vs Eq. 6-9.
-	fopts := experiments.DefaultFluidErrorOptions()
-	fopts.Seed = seed
-	fopts.Servers = scaled(fopts.Servers, scale)
-	ferr, err := experiments.FluidError(fopts)
-	if err != nil {
-		return err
-	}
-	if err := save(ferr); err != nil {
-		return err
-	}
-
-	// §III sensitivity study.
-	sopts := experiments.DefaultSensitivityOptions()
-	sopts.Seed = seed
-	sopts.Servers = scaled(sopts.Servers, scale)
-	sopts.NumVMs = scaled(sopts.NumVMs, scale)
-	points, err := experiments.Sensitivity(sopts)
-	if err != nil {
-		return err
-	}
-	if err := save(experiments.SensitivityFigure(points)); err != nil {
-		return err
-	}
-
-	// §V multi-resource extension (end-to-end).
-	mopts := experiments.DefaultMultiResourceOptions()
-	mopts.Seed = seed
-	mopts.Servers = scaled(mopts.Servers, scale)
-	mopts.NumVMs = scaled(mopts.NumVMs, scale)
-	mres, err := experiments.MultiResource(mopts)
-	if err != nil {
-		return err
-	}
-	if err := save(mres.Figure()); err != nil {
-		return err
-	}
-
-	// One day of the complete distributed system on the wire.
-	pdopts := experiments.DefaultProtocolDayOptions()
-	pdopts.Seed = seed
-	pdopts.Servers = scaled(pdopts.Servers, scale)
-	pdopts.Churn.InitialVMs = scaled(pdopts.Churn.InitialVMs, scale)
-	pdopts.Churn.ArrivalPerHour *= scale
-	pday, err := experiments.ProtocolDay(pdopts)
-	if err != nil {
-		return err
-	}
-	if err := save(pday); err != nil {
-		return err
-	}
-
-	// Protocol scalability (footnote 1 study).
-	scopts := experiments.DefaultScalabilityOptions()
-	scopts.Seed = seed
-	if scale < 1 {
-		scopts.FleetSizes = []int{50, 100, 200}
-		scopts.Placements = 100
-	}
-	spoints, err := experiments.Scalability(scopts)
-	if err != nil {
-		return err
-	}
-	if err := save(experiments.ScalabilityFigure(spoints)); err != nil {
-		return err
-	}
+	_ = daily
 
 	// Seed replication (not in the paper; quantifies run-to-run noise).
 	if replicate > 1 {
-		ropts := dopts
+		ropts := experiments.DefaultDailyOptions()
+		ropts.RunConfig = req.Apply(ropts.RunConfig)
+		ropts.Eco = eco
 		seeds := make([]uint64, replicate)
 		for i := range seeds {
-			seeds[i] = seed + uint64(i)
+			seeds[i] = ropts.Seed + uint64(i)
 		}
 		reps, err := experiments.ReplicateDaily(ropts, seeds)
 		if err != nil {
@@ -220,28 +145,12 @@ func run(outDir string, scale float64, seed uint64, horizon time.Duration, exact
 		}
 	}
 
-	// Baseline comparison (abstract claim).
-	if !skipCmp {
-		copts := experiments.DefaultComparisonOptions()
-		copts.Seed = seed
-		copts.Servers = scaled(copts.Servers, scale)
-		copts.NumVMs = scaled(copts.NumVMs, scale)
-		copts.Horizon = horizon
-		cmp, err := experiments.Comparison(copts)
-		if err != nil {
-			return err
-		}
-		if err := save(cmp.Figure()); err != nil {
-			return err
-		}
-	}
-
 	if markdown != "" {
 		file, err := os.Create(markdown)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(file, "# ecoCloud reproduction report (scale %g, seed %d)\n\n", scale, seed)
+		fmt.Fprintf(file, "# ecoCloud reproduction report (scale %g, seed %d)\n\n", scale, rc.Seed)
 		for _, f := range figures {
 			if err := f.WriteMarkdown(file); err != nil {
 				file.Close()
@@ -258,7 +167,7 @@ func run(outDir string, scale float64, seed uint64, horizon time.Duration, exact
 		if err != nil {
 			return err
 		}
-		title := fmt.Sprintf("ecoCloud reproduction report (scale %g, seed %d)", scale, seed)
+		title := fmt.Sprintf("ecoCloud reproduction report (scale %g, seed %d)", scale, rc.Seed)
 		if err := report.HTML(file, title, figures); err != nil {
 			file.Close()
 			return err
@@ -268,14 +177,41 @@ func run(outDir string, scale float64, seed uint64, horizon time.Duration, exact
 		}
 		fmt.Printf("wrote %s\n", htmlPath)
 	}
-	return nil
+	return scope.Close()
 }
 
-// scaled multiplies n by the scale, keeping at least a workable minimum.
-func scaled(n int, scale float64) int {
-	v := int(float64(n) * scale)
-	if v < 3 {
-		v = 3
+// selectExperiments resolves the -experiments filter against the registry,
+// preserving registry (paper) order.
+func selectExperiments(only string, skipCmp bool) ([]experiments.Experiment, error) {
+	all := experiments.All()
+	if only == "" {
+		if !skipCmp {
+			return all, nil
+		}
+		var out []experiments.Experiment
+		for _, e := range all {
+			if e.Name != "comparison" {
+				out = append(out, e)
+			}
+		}
+		return out, nil
 	}
-	return v
+	want := map[string]bool{}
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := experiments.Lookup(name); !ok {
+			return nil, fmt.Errorf("unknown experiment %q (have %v)", name, experiments.Names())
+		}
+		want[name] = true
+	}
+	var out []experiments.Experiment
+	for _, e := range all {
+		if want[e.Name] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
 }

@@ -11,36 +11,39 @@ import (
 	"path/filepath"
 
 	"repro/internal/ascii"
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
 func main() {
 	opts := experiments.DefaultAssignOnlyOptions()
+	var obsFlags cli.ObsFlags
+	cli.BindRunConfig(flag.CommandLine, &opts.RunConfig)
+	obsFlags.Bind(flag.CommandLine)
 	var (
-		servers = flag.Int("servers", opts.Servers, "number of servers")
-		initial = flag.Int("initial-vms", opts.Churn.InitialVMs, "VMs preloaded at t=0")
 		arrival = flag.Float64("arrivals", opts.Churn.ArrivalPerHour, "baseline VM arrivals per hour")
-		horizon = flag.Duration("horizon", opts.Churn.Horizon, "simulated time")
-		seed    = flag.Uint64("seed", opts.Seed, "master seed")
 		exact   = flag.Bool("exact", false, "use the exact combinatorial A_s (Eq. 6-9) instead of Eq. 11")
-		outDir  = flag.String("out", "", "also write fig12/fig13 CSVs to this directory")
+		outDir  = flag.String("out", "", "also write fig12/fig13 CSVs (plus run.json and journal.jsonl) to this directory")
 	)
 	flag.Parse()
 
-	opts.Servers = *servers
-	opts.Churn.InitialVMs = *initial
 	opts.Churn.ArrivalPerHour = *arrival
-	opts.Churn.Horizon = *horizon
-	opts.Seed = *seed
 	opts.Exact = *exact
 
-	if err := run(opts, *outDir); err != nil {
+	if err := run(opts, obsFlags, *outDir); err != nil {
 		fmt.Fprintln(os.Stderr, "ecomodel:", err)
 		os.Exit(1)
 	}
 }
 
-func run(opts experiments.AssignOnlyOptions, outDir string) error {
+func run(opts experiments.AssignOnlyOptions, obsFlags cli.ObsFlags, outDir string) error {
+	scope, err := obsFlags.Start("assignonly", opts, opts.Seed, outDir, nil)
+	if err != nil {
+		return err
+	}
+	defer scope.Close()
+	opts.Obs = scope.Rec
+
 	res, err := experiments.AssignOnly(opts)
 	if err != nil {
 		return err
@@ -98,5 +101,5 @@ func run(opts experiments.AssignOnlyOptions, outDir string) error {
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
-	return nil
+	return scope.Close()
 }

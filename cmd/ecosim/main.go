@@ -1,6 +1,6 @@
 // Command ecosim runs the trace-driven two-day experiment (§III) — the run
 // behind Figures 6–11 — and renders the results as ASCII charts, optionally
-// writing the figure CSVs.
+// writing the figure CSVs, a run manifest and a JSONL event journal.
 //
 // The defaults are the paper's: 400 servers (thirds of 4/6/8 cores at
 // 2 GHz), 6,000 VMs, 48 hours, Ta=0.90 p=3 Tl=0.50 Th=0.95 alpha=beta=0.25.
@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/ascii"
+	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/dc"
 	"repro/internal/ecocloud"
@@ -24,54 +25,52 @@ import (
 
 func main() {
 	opts := experiments.DefaultDailyOptions()
+	var obsFlags cli.ObsFlags
+	cli.BindRunConfig(flag.CommandLine, &opts.RunConfig)
+	cli.BindEco(flag.CommandLine, &opts.Eco)
+	obsFlags.Bind(flag.CommandLine)
 	var (
-		servers = flag.Int("servers", opts.Servers, "number of servers")
-		vms     = flag.Int("vms", opts.NumVMs, "number of VMs")
-		horizon = flag.Duration("horizon", opts.Horizon, "simulated time")
-		seed    = flag.Uint64("seed", opts.Seed, "master seed")
-		ta      = flag.Float64("ta", opts.Eco.Ta, "assignment threshold Ta")
-		p       = flag.Float64("p", opts.Eco.P, "assignment shape p")
-		tl      = flag.Float64("tl", opts.Eco.Tl, "lower migration threshold Tl")
-		th      = flag.Float64("th", opts.Eco.Th, "upper migration threshold Th")
-		alpha   = flag.Float64("alpha", opts.Eco.Alpha, "low-migration shape alpha")
-		beta    = flag.Float64("beta", opts.Eco.Beta, "high-migration shape beta")
-		outDir  = flag.String("out", "", "also write figure CSVs to this directory")
-		plDir   = flag.String("planetlab", "", "load a real CoMon/PlanetLab archive directory (one file per VM) instead of synthesizing")
-		plRef   = flag.Float64("planetlab-ref-mhz", 2400, "host capacity the PlanetLab percentages refer to")
+		outDir = flag.String("out", "", "also write figure CSVs (plus run.json and journal.jsonl) to this directory")
+		plDir  = flag.String("planetlab", "", "load a real CoMon/PlanetLab archive directory (one file per VM) instead of synthesizing")
+		plRef  = flag.Float64("planetlab-ref-mhz", 2400, "host capacity the PlanetLab percentages refer to")
 	)
 	flag.Parse()
 
-	opts.Servers = *servers
-	opts.NumVMs = *vms
-	opts.Horizon = *horizon
-	opts.Seed = *seed
-	opts.Eco.Ta = *ta
-	opts.Eco.P = *p
-	opts.Eco.Tl = *tl
-	opts.Eco.Th = *th
-	opts.Eco.Alpha = *alpha
-	opts.Eco.Beta = *beta
-
-	if err := run(opts, *outDir, *plDir, *plRef); err != nil {
+	if err := run(opts, obsFlags, *outDir, *plDir, *plRef); err != nil {
 		fmt.Fprintln(os.Stderr, "ecosim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(opts experiments.DailyOptions, outDir, plDir string, plRef float64) error {
+func run(opts experiments.DailyOptions, obsFlags cli.ObsFlags, outDir, plDir string, plRef float64) error {
+	if err := cli.Validate(opts.Eco); err != nil {
+		return err
+	}
+	scope, err := obsFlags.Start("daily", opts, opts.Seed, outDir, nil)
+	if err != nil {
+		return err
+	}
+	defer scope.Close()
+	opts.Obs = scope.Rec
+
 	start := time.Now()
 	var res *experiments.DailyResult
-	var err error
 	if plDir != "" {
 		res, err = runPlanetLab(opts, plDir, plRef)
 	} else {
-		res, err = experiments.Daily(opts)
+		var rr *experiments.RunResult
+		rr, err = experiments.Run("daily", experiments.RunRequest{Config: opts.RunConfig, Eco: &opts.Eco})
+		if err == nil {
+			res = rr.Raw.(*experiments.DailyResult)
+		}
 	}
 	if err != nil {
 		return err
 	}
+	// Report what actually ran: zero flag values fall back to the
+	// experiment defaults inside the registry.
 	fmt.Printf("ecosim: %d servers, %v simulated in %v\n\n",
-		opts.Servers, opts.Horizon, time.Since(start).Round(time.Millisecond))
+		res.Servers, res.Run.Horizon, time.Since(start).Round(time.Millisecond))
 
 	hours := func(s *metrics.Series) []float64 {
 		out := make([]float64, s.Len())
@@ -115,9 +114,6 @@ func run(opts experiments.DailyOptions, outDir, plDir string, plRef float64) err
 	}
 
 	if outDir != "" {
-		if err := os.MkdirAll(outDir, 0o755); err != nil {
-			return err
-		}
 		for _, f := range res.Figures() {
 			path := filepath.Join(outDir, f.ID+".csv")
 			file, err := os.Create(path)
@@ -134,7 +130,7 @@ func run(opts experiments.DailyOptions, outDir, plDir string, plRef float64) err
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
-	return nil
+	return scope.Close()
 }
 
 // runPlanetLab runs the daily scenario on a real CoMon/PlanetLab archive
@@ -162,6 +158,7 @@ func runPlanetLab(opts experiments.DailyOptions, dir string, refMHz float64) (*e
 		SampleInterval:   opts.Sample,
 		PowerModel:       opts.Power,
 		RecordServerUtil: true,
+		Obs:              opts.Obs,
 	}, pol)
 	if err != nil {
 		return nil, err

@@ -2,13 +2,19 @@
 // experiment: pick fleet size, workload, horizon and the ecoCloud
 // parameters in a form, get the full inline-SVG report back. Everything
 // runs in-process; a paper-scale run takes about a second.
+//
+// Telemetry: /debug/vars exports the cumulative sim counters of all runs
+// served so far (expvar JSON, under the "sim" key); -profile additionally
+// mounts the net/http/pprof handlers under /debug/pprof/.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"repro/internal/web"
@@ -16,12 +22,24 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	profile := flag.Bool("profile", false, "also serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	h := web.New(web.DefaultLimits())
+	expvar.Publish("sim", expvar.Func(func() any { return h.Registry().Snapshot() }))
+
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if *profile {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{
 		Addr:         *addr,
-		Handler:      h,
+		Handler:      mux,
 		ReadTimeout:  10 * time.Second,
 		WriteTimeout: 120 * time.Second, // a full-scale run takes a while
 	}

@@ -11,11 +11,14 @@ import (
 	"time"
 
 	"repro/internal/ascii"
+	"repro/internal/cli"
 	"repro/internal/trace"
 )
 
 func main() {
 	def := trace.DefaultGenConfig()
+	var obsFlags cli.ObsFlags
+	obsFlags.Bind(flag.CommandLine)
 	var (
 		numVMs  = flag.Int("vms", def.NumVMs, "number of VMs")
 		horizon = flag.Duration("horizon", def.Horizon, "trace length")
@@ -29,13 +32,19 @@ func main() {
 	cfg.NumVMs = *numVMs
 	cfg.Horizon = *horizon
 
-	if err := run(cfg, *seed, *outPath, *stats); err != nil {
+	if err := run(cfg, obsFlags, *seed, *outPath, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "tracegen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg trace.GenConfig, seed uint64, outPath string, stats bool) error {
+func run(cfg trace.GenConfig, obsFlags cli.ObsFlags, seed uint64, outPath string, stats bool) error {
+	scope, err := obsFlags.Start("tracegen", cfg, seed, "", nil)
+	if err != nil {
+		return err
+	}
+	defer scope.Close()
+
 	set, err := trace.Generate(cfg, seed)
 	if err != nil {
 		return err

@@ -1,0 +1,163 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ObsFlags are the telemetry switches every binary exposes the same way.
+type ObsFlags struct {
+	Progress bool
+	Profile  bool
+}
+
+// Bind registers -progress and -profile against f.
+func (f *ObsFlags) Bind(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Progress, "progress", false, "report live progress on stderr while the run executes")
+	fs.BoolVar(&f.Profile, "profile", false, "write cpu.pprof and heap.pprof next to the figure CSVs")
+}
+
+// Scope is one run's telemetry: the recorder to thread into the experiment,
+// plus the journal, manifest, profiles and progress reporter that Close
+// finalizes. The zero Scope (all telemetry off) is valid and Close on it is
+// a no-op, so callers can unconditionally `defer scope.Close()`.
+type Scope struct {
+	Rec *obs.Recorder
+
+	outDir       string
+	manifest     *obs.Manifest
+	journalFile  *os.File
+	cpuFile      *os.File
+	heapPath     string
+	stopProgress func()
+	logw         io.Writer
+}
+
+// Start assembles the run scope from the flags: a recorder (nil — free — when
+// everything is off), a JSONL journal plus run manifest when outDir is set,
+// CPU/heap profiles when -profile is set, and a progress goroutine when
+// -progress is set. line may be nil for the default events/sim-clock line.
+// Close must be called when the run ends.
+func (f ObsFlags) Start(experiment string, config any, seed uint64, outDir string, line func(*obs.Recorder) string) (*Scope, error) {
+	s := &Scope{outDir: outDir, logw: os.Stderr}
+	if outDir == "" && !f.Progress && !f.Profile {
+		return s, nil // telemetry fully off: Rec stays nil, hot path pays one nil check
+	}
+
+	var journal *obs.Journal
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return nil, err
+		}
+		jf, err := os.Create(filepath.Join(outDir, "journal.jsonl"))
+		if err != nil {
+			return nil, err
+		}
+		s.journalFile = jf
+		journal = obs.NewJournal(jf)
+		s.manifest = obs.NewManifest(experiment, config, seed)
+	}
+	s.Rec = obs.NewRecorder(nil, journal)
+
+	if f.Profile {
+		dir := outDir
+		if dir == "" {
+			dir = "."
+		}
+		cf, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+		if err != nil {
+			s.closeFiles()
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			s.closeFiles()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		s.cpuFile = cf
+		s.heapPath = filepath.Join(dir, "heap.pprof")
+	}
+
+	if f.Progress {
+		if line == nil {
+			line = defaultProgressLine
+		}
+		rec := s.Rec
+		s.stopProgress = obs.StartProgress(s.logw, defaultProgressInterval, func() string {
+			return line(rec)
+		})
+	}
+	return s, nil
+}
+
+// Close stops the progress reporter, finalizes the profiles, writes the run
+// manifest and closes the journal. Safe on a zero or nil Scope.
+func (s *Scope) Close() error {
+	if s == nil {
+		return nil
+	}
+	if s.stopProgress != nil {
+		s.stopProgress()
+		s.stopProgress = nil
+	}
+	if s.cpuFile != nil {
+		pprof.StopCPUProfile()
+		s.cpuFile.Close()
+		s.cpuFile = nil
+		hf, err := os.Create(s.heapPath)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // publish accurate live-heap numbers
+		if err := pprof.Lookup("heap").WriteTo(hf, 0); err != nil {
+			hf.Close()
+			return err
+		}
+		if err := hf.Close(); err != nil {
+			return err
+		}
+	}
+	var firstErr error
+	if s.manifest != nil {
+		s.manifest.Finish(s.Rec)
+		if path, err := s.manifest.WriteFile(s.outDir); err != nil {
+			firstErr = err
+		} else {
+			fmt.Fprintf(s.logw, "wrote %s\n", path)
+		}
+		s.manifest = nil
+	}
+	if err := s.closeFiles(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+func (s *Scope) closeFiles() error {
+	if s.journalFile == nil {
+		return nil
+	}
+	err := s.journalFile.Close()
+	s.journalFile = nil
+	return err
+}
+
+// defaultProgressLine summarizes the recorder the sim layer feeds: events
+// dispatched and how far the virtual clock has advanced.
+func defaultProgressLine(rec *obs.Recorder) string {
+	if !rec.Enabled() {
+		return "running"
+	}
+	snap := rec.Snapshot()
+	events := snap.Counters["sim.events"]
+	simH := time.Duration(snap.Gauges["sim.now_ns"]).Hours()
+	return fmt.Sprintf("progress: %d events, sim clock %.2f h", events, simH)
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/dc"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -53,6 +54,14 @@ type RunConfig struct {
 	//  "vm":..., "server":..., "dest":...}. Useful for debugging policies
 	// and for external analysis; adds encoding cost per event.
 	EventLog io.Writer
+
+	// Obs, when set, receives run telemetry: engine metrics (events, queue
+	// depth, handler wall time), cluster counters (assignments, removals,
+	// migrations by kind, activations, hibernations, overload ticks), live
+	// gauges (sim time, active servers), and — when the recorder carries a
+	// journal — one JSONL event per data-center mutation. Nil (the default)
+	// costs the run nothing.
+	Obs *obs.Recorder
 }
 
 // Validate reports whether the run configuration is usable.
@@ -135,6 +144,36 @@ type journalLine struct {
 	Dest   int    `json:"dest"`
 }
 
+// observeDCEvent counts one data-center mutation into the telemetry
+// recorder and mirrors it to the recorder's JSONL journal.
+func observeDCEvent(r *obs.Recorder, now time.Duration, e dc.Event) {
+	if !r.Enabled() {
+		return
+	}
+	switch e.Kind {
+	case dc.EventPlace:
+		r.Count("cluster.assignments", 1)
+	case dc.EventRemove:
+		r.Count("cluster.removals", 1)
+	case dc.EventMigrate:
+		r.Count("cluster.migrations", 1)
+	case dc.EventActivate:
+		r.Count("cluster.wakeups", 1)
+	case dc.EventHibernate:
+		r.Count("cluster.hibernations", 1)
+	}
+	if r.Journaling() {
+		fields := map[string]any{"server": e.Server}
+		if e.VM >= 0 {
+			fields["vm"] = e.VM
+		}
+		if e.Dest >= 0 {
+			fields["dest"] = e.Dest
+		}
+		r.Emit(now, string(e.Kind), fields)
+	}
+}
+
 // Run executes the workload against the policy and collects metrics.
 func Run(cfg RunConfig, policy Policy) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
@@ -143,19 +182,26 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 	d := dc.New(cfg.Specs)
 	rec := NewRecorder(cfg.SampleInterval)
 	eng := sim.New()
+	eng.SetRecorder(cfg.Obs)
 
+	var enc *json.Encoder
 	if cfg.EventLog != nil {
-		enc := json.NewEncoder(cfg.EventLog)
+		enc = json.NewEncoder(cfg.EventLog)
+	}
+	if enc != nil || cfg.Obs.Enabled() {
 		d.SetJournal(func(e dc.Event) {
-			// Encoding errors must not corrupt the simulation; the journal
-			// is best-effort observability.
-			_ = enc.Encode(journalLine{
-				TNS:    int64(eng.Now()),
-				Kind:   string(e.Kind),
-				VM:     e.VM,
-				Server: e.Server,
-				Dest:   e.Dest,
-			})
+			if enc != nil {
+				// Encoding errors must not corrupt the simulation; the
+				// journal is best-effort observability.
+				_ = enc.Encode(journalLine{
+					TNS:    int64(eng.Now()),
+					Kind:   string(e.Kind),
+					VM:     e.VM,
+					Server: e.Server,
+					Dest:   e.Dest,
+				})
+			}
+			observeDCEvent(cfg.Obs, eng.Now(), e)
 		})
 	}
 
@@ -259,6 +305,7 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 				winVMOverTicks += n
 				overDemandMHz += demand
 				overCapacityMHz += capa
+				cfg.Obs.Count("cluster.overload_server_ticks", 1)
 			}
 			if s.Spec.RAMMB > 0 && s.UsedRAMMB() > s.Spec.RAMMB {
 				vmRAMOverTicks += n
@@ -268,11 +315,16 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 		controlTicks++
 		// Energy: integrate draw over the next interval (left Riemann sum).
 		res.EnergyKWh += d.PowerAt(now, cfg.PowerModel) * cfg.ControlInterval.Hours() / 1000
+		if cfg.Obs.Enabled() {
+			cfg.Obs.Gauge("cluster.active_servers", int64(d.ActiveCount()))
+			cfg.Obs.Gauge("cluster.vms_placed", int64(d.NumPlaced()))
+		}
 	})
 
 	// Sample tick: record the reported series.
 	eng.Every(0, cfg.SampleInterval, "sample", func(e *sim.Engine) {
 		now := e.Now()
+		cfg.Obs.SampleMemory()
 		res.ActiveServers.Add(now, float64(d.ActiveCount()))
 		res.PowerW.Add(now, d.PowerAt(now, cfg.PowerModel))
 		res.OverallLoad.Add(now, cfg.Workload.TotalDemandAt(now)/totalCapacity)

@@ -16,9 +16,12 @@ import (
 // procedure in isolation (migrations inhibited), run both in the simulator
 // (Fig. 12) and in the fluid model fed with the lambda(t)/mu(t) extracted
 // from the same workload (Fig. 13).
+// AssignOnlyOptions embeds RunConfig with churn semantics: NumVMs is the
+// initial VM population (Churn.InitialVMs) and Horizon the churn horizon;
+// both are copied into Churn when the experiment runs.
 type AssignOnlyOptions struct {
-	Servers int // paper: 100
-	Cores   int // paper: 6 (2 GHz)
+	RunConfig       // Servers paper: 100
+	Cores     int   // paper: 6 (2 GHz)
 
 	Churn trace.ChurnConfig
 	Eco   ecocloud.Config
@@ -32,7 +35,6 @@ type AssignOnlyOptions struct {
 
 	Control time.Duration
 	Sample  time.Duration
-	Seed    uint64
 }
 
 // DefaultAssignOnlyOptions returns the paper's Fig. 12/13 setup: 100
@@ -41,15 +43,15 @@ type AssignOnlyOptions struct {
 func DefaultAssignOnlyOptions() AssignOnlyOptions {
 	eco := ecocloud.DefaultConfig()
 	eco.DisableMigration = true
+	churn := trace.DefaultChurnConfig()
 	return AssignOnlyOptions{
-		Servers:    100,
+		RunConfig:  RunConfig{Servers: 100, NumVMs: churn.InitialVMs, Horizon: churn.Horizon, Seed: 1},
 		Cores:      6,
-		Churn:      trace.DefaultChurnConfig(),
+		Churn:      churn,
 		Eco:        eco,
 		RateBucket: 30 * time.Minute,
 		Control:    5 * time.Minute,
 		Sample:     30 * time.Minute,
-		Seed:       1,
 	}
 }
 
@@ -69,6 +71,9 @@ type AssignOnlyResult struct {
 // AssignOnly runs both the simulation and the fluid model.
 func AssignOnly(opts AssignOnlyOptions) (*AssignOnlyResult, error) {
 	opts.Eco.DisableMigration = true // the experiment's defining constraint
+	// RunConfig is canonical: NumVMs/Horizon drive the churn generator.
+	opts.Churn.InitialVMs = opts.NumVMs
+	opts.Churn.Horizon = opts.Horizon
 	ws, err := trace.GenerateChurn(opts.Churn, opts.Seed)
 	if err != nil {
 		return nil, err
@@ -87,6 +92,7 @@ func AssignOnly(opts AssignOnlyOptions) (*AssignOnlyResult, error) {
 		PowerModel:       dc.DefaultPowerModel(),
 		Initial:          cluster.SpreadRoundRobin,
 		RecordServerUtil: true,
+		Obs:              opts.Obs,
 	}, pol)
 	if err != nil {
 		return nil, err

@@ -16,9 +16,7 @@ import (
 // of the best centralized algorithms devised so far" while migrating far
 // less.
 type ComparisonOptions struct {
-	Servers int
-	NumVMs  int
-	Horizon time.Duration
+	RunConfig
 
 	Eco      ecocloud.Config
 	Baseline baseline.Config
@@ -26,7 +24,6 @@ type ComparisonOptions struct {
 	Power    dc.PowerModel
 	Control  time.Duration
 	Sample   time.Duration
-	Seed     uint64
 }
 
 // DefaultComparisonOptions compares at the paper's scale on the same
@@ -34,16 +31,13 @@ type ComparisonOptions struct {
 func DefaultComparisonOptions() ComparisonOptions {
 	gen := trace.DefaultGenConfig()
 	return ComparisonOptions{
-		Servers:  400,
-		NumVMs:   gen.NumVMs,
-		Horizon:  gen.Horizon,
-		Eco:      ecocloud.DefaultConfig(),
-		Baseline: baseline.DefaultConfig(),
-		Gen:      gen,
-		Power:    dc.DefaultPowerModel(),
-		Control:  5 * time.Minute,
-		Sample:   30 * time.Minute,
-		Seed:     1,
+		RunConfig: RunConfig{Servers: 400, NumVMs: gen.NumVMs, Horizon: gen.Horizon, Seed: 1},
+		Eco:       ecocloud.DefaultConfig(),
+		Baseline:  baseline.DefaultConfig(),
+		Gen:       gen,
+		Power:     dc.DefaultPowerModel(),
+		Control:   5 * time.Minute,
+		Sample:    30 * time.Minute,
 	}
 }
 
@@ -90,6 +84,7 @@ func Comparison(opts ComparisonOptions) (*ComparisonResult, error) {
 			ControlInterval: opts.Control,
 			SampleInterval:  opts.Sample,
 			PowerModel:      opts.Power,
+			Obs:             opts.Obs,
 		}, pol)
 		if err != nil {
 			return fmt.Errorf("experiments: comparison policy %s: %v", pol.Name(), err)

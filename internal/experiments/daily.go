@@ -12,19 +12,17 @@ import (
 )
 
 // DailyOptions parameterizes the two-day trace-driven experiment (§III) that
-// produces Figures 6–11.
+// produces Figures 6–11. Servers is the fleet size (paper: 400, thirds of
+// 4/6/8 cores), NumVMs the workload size (paper: 6,000), Horizon the
+// simulated span (paper: 48 hours from midnight).
 type DailyOptions struct {
-	Servers int           // fleet size (paper: 400, thirds of 4/6/8 cores)
-	NumVMs  int           // workload size (paper: 6,000)
-	Horizon time.Duration // paper: 48 hours from midnight
+	RunConfig
 
 	Eco     ecocloud.Config
 	Gen     trace.GenConfig
 	Power   dc.PowerModel
 	Control time.Duration // migration-scan cadence
 	Sample  time.Duration // metric cadence (paper: 30 minutes)
-
-	Seed uint64
 }
 
 // DefaultDailyOptions returns the paper's §III configuration: Ta=0.90 p=3
@@ -32,15 +30,12 @@ type DailyOptions struct {
 func DefaultDailyOptions() DailyOptions {
 	gen := trace.DefaultGenConfig()
 	return DailyOptions{
-		Servers: 400,
-		NumVMs:  gen.NumVMs,
-		Horizon: gen.Horizon,
-		Eco:     ecocloud.DefaultConfig(),
-		Gen:     gen,
-		Power:   dc.DefaultPowerModel(),
-		Control: 5 * time.Minute,
-		Sample:  30 * time.Minute,
-		Seed:    1,
+		RunConfig: RunConfig{Servers: 400, NumVMs: gen.NumVMs, Horizon: gen.Horizon, Seed: 1},
+		Eco:       ecocloud.DefaultConfig(),
+		Gen:       gen,
+		Power:     dc.DefaultPowerModel(),
+		Control:   5 * time.Minute,
+		Sample:    30 * time.Minute,
 	}
 }
 
@@ -81,6 +76,7 @@ func Daily(opts DailyOptions) (*DailyResult, error) {
 		SampleInterval:   opts.Sample,
 		PowerModel:       opts.Power,
 		RecordServerUtil: true,
+		Obs:              opts.Obs,
 	}
 	res, err := cluster.Run(cfg, pol)
 	if err != nil {

@@ -101,8 +101,8 @@ func TestFig3Shape(t *testing.T) {
 
 func smallTraceOptions() TraceOptions {
 	opts := DefaultTraceOptions()
-	opts.Gen.NumVMs = 400
-	opts.Gen.Horizon = 6 * time.Hour
+	opts.NumVMs = 400
+	opts.Horizon = 6 * time.Hour
 	return opts
 }
 
@@ -193,9 +193,9 @@ func TestDailySmallScale(t *testing.T) {
 func TestAssignOnlySmallScale(t *testing.T) {
 	opts := DefaultAssignOnlyOptions()
 	opts.Servers = 25
-	opts.Churn.InitialVMs = 375
+	opts.NumVMs = 375
 	opts.Churn.ArrivalPerHour = 250 // lambda/mu = 375: stationary population
-	opts.Churn.Horizon = 10 * time.Hour
+	opts.Horizon = 10 * time.Hour
 	res, err := AssignOnly(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -480,9 +480,9 @@ func TestFluidErrorSmallScale(t *testing.T) {
 func TestProtocolDaySmallScale(t *testing.T) {
 	opts := DefaultProtocolDayOptions()
 	opts.Servers = 20
-	opts.Churn.InitialVMs = 300
+	opts.NumVMs = 300
 	opts.Churn.ArrivalPerHour = 200
-	opts.Churn.Horizon = 6 * time.Hour
+	opts.Horizon = 6 * time.Hour
 	fig, err := ProtocolDay(opts)
 	if err != nil {
 		t.Fatal(err)

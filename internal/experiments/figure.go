@@ -33,7 +33,7 @@ func (f *Figure) Add(row ...float64) {
 }
 
 // Notef appends a formatted note.
-func (f *Figure) Notef(format string, args ...interface{}) {
+func (f *Figure) Notef(format string, args ...any) {
 	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
 }
 

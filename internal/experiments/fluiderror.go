@@ -14,16 +14,19 @@ import (
 // per-server arrival terms over random utilization states, and (b) the
 // divergence of full trajectories integrated from the same initial
 // conditions.
+// NumVMs is unused here — the fluid model works on rates, not on a discrete
+// VM population.
 type FluidErrorOptions struct {
-	Servers int
-	States  int // random states for the pointwise comparison
-	Horizon time.Duration
-	Seed    uint64
+	RunConfig
+	States int // random states for the pointwise comparison
 }
 
 // DefaultFluidErrorOptions matches the paper's 100-server analysis scale.
 func DefaultFluidErrorOptions() FluidErrorOptions {
-	return FluidErrorOptions{Servers: 100, States: 200, Horizon: 12 * time.Hour, Seed: 1}
+	return FluidErrorOptions{
+		RunConfig: RunConfig{Servers: 100, Horizon: 12 * time.Hour, Seed: 1},
+		States:    200,
+	}
 }
 
 // FluidError runs both measurements and reports them as a figure.

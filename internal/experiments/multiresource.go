@@ -17,9 +17,7 @@ import (
 // to memory, so on a memory-tight mix it overcommits RAM; the extension's
 // job is to eliminate that while keeping consolidation quality.
 type MultiResourceOptions struct {
-	Servers int
-	NumVMs  int
-	Horizon time.Duration
+	RunConfig
 
 	// RAMPerCoreMB equips each server with this much memory per core. The
 	// default (1536 MB/core) is deliberately tight against the workload so
@@ -31,7 +29,6 @@ type MultiResourceOptions struct {
 	Power   dc.PowerModel
 	Control time.Duration
 	Sample  time.Duration
-	Seed    uint64
 }
 
 // DefaultMultiResourceOptions returns a 100-server / 1,500-VM day with an
@@ -44,16 +41,13 @@ func DefaultMultiResourceOptions() MultiResourceOptions {
 	gen.RAMSigma = 0.7
 	gen.RAMAntiCorr = true
 	return MultiResourceOptions{
-		Servers:      100,
-		NumVMs:       gen.NumVMs,
-		Horizon:      gen.Horizon,
+		RunConfig:    RunConfig{Servers: 100, NumVMs: gen.NumVMs, Horizon: gen.Horizon, Seed: 1},
 		RAMPerCoreMB: 1536,
 		Eco:          ecocloud.DefaultConfig(),
 		Gen:          gen,
 		Power:        dc.DefaultPowerModel(),
 		Control:      5 * time.Minute,
 		Sample:       30 * time.Minute,
-		Seed:         1,
 	}
 }
 
@@ -100,6 +94,7 @@ func MultiResource(opts MultiResourceOptions) (*MultiResourceResult, error) {
 			ControlInterval: opts.Control,
 			SampleInterval:  opts.Sample,
 			PowerModel:      opts.Power,
+			Obs:             opts.Obs,
 		}, pol)
 		if err != nil {
 			return fmt.Errorf("experiments: multi-resource %s: %v", variants[i].name, err)

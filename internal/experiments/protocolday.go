@@ -17,11 +17,13 @@ import (
 // measures what the paper's architecture actually costs on the network:
 // control messages, bandwidth (including live-migration transfers), and the
 // latencies users would see.
+// ProtocolDayOptions embeds RunConfig with churn semantics: NumVMs is the
+// initial VM population (Churn.InitialVMs) and Horizon the churn horizon;
+// both are copied into Churn when the experiment runs.
 type ProtocolDayOptions struct {
-	Servers int
-	Churn   trace.ChurnConfig
-	Proto   protocol.Config
-	Seed    uint64
+	RunConfig
+	Churn trace.ChurnConfig
+	Proto protocol.Config
 }
 
 // DefaultProtocolDayOptions runs 100 six-core servers for 24 hours under
@@ -32,15 +34,18 @@ func DefaultProtocolDayOptions() ProtocolDayOptions {
 	cfg := protocol.DefaultConfig()
 	cfg.EnableMigration = true
 	return ProtocolDayOptions{
-		Servers: 100,
-		Churn:   churn,
-		Proto:   cfg,
-		Seed:    1,
+		RunConfig: RunConfig{Servers: 100, NumVMs: churn.InitialVMs, Horizon: churn.Horizon, Seed: 1},
+		Churn:     churn,
+		Proto:     cfg,
 	}
 }
 
 // ProtocolDay runs the experiment and reports the control-plane budget.
 func ProtocolDay(opts ProtocolDayOptions) (*Figure, error) {
+	// RunConfig is canonical: NumVMs/Horizon drive the churn generator.
+	opts.Churn.InitialVMs = opts.NumVMs
+	opts.Churn.Horizon = opts.Horizon
+	opts.Proto.Obs = opts.Obs
 	ws, err := trace.GenerateChurn(opts.Churn, opts.Seed)
 	if err != nil {
 		return nil, err

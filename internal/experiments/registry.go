@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ecocloud"
+)
+
+// RunRequest parameterizes any registered experiment uniformly. Zero values
+// mean "use the experiment's paper defaults":
+//
+//   - Config: non-zero fields override the experiment's default RunConfig
+//     (Config.Obs is always threaded through, even when nil);
+//   - Eco: replaces the ecoCloud policy parameters where the experiment uses
+//     the policy (daily, assignonly, sensitivity base, multiresource,
+//     comparison) — nil keeps the paper's values;
+//   - Scale: shrinks the fleet and workload proportionally before Config
+//     overrides apply (0 and 1 both mean paper scale);
+//   - Exact: selects the exact combinatorial A_s (Eqs. 6–9) where a fluid
+//     model is involved.
+type RunRequest struct {
+	Config RunConfig
+	Eco    *ecocloud.Config
+	Scale  float64
+	Exact  bool
+}
+
+// scale returns the effective scale factor, treating 0 as 1.
+func (r RunRequest) scale() float64 {
+	if r.Scale <= 0 || r.Scale > 1 {
+		return 1
+	}
+	return r.Scale
+}
+
+// Apply merges the request into an experiment's default RunConfig: Scale
+// first (so explicit overrides win), then the non-zero Config fields.
+func (r RunRequest) Apply(def RunConfig) RunConfig {
+	if s := r.scale(); s < 1 {
+		def.Servers = scaleInt(def.Servers, s)
+		def.NumVMs = scaleInt(def.NumVMs, s)
+	}
+	return r.Config.overlay(def)
+}
+
+// RunResult is what every registered experiment returns: the figures it
+// produced (CSV-ready, in paper order) plus the experiment-specific result
+// value for callers that want more than the figures (e.g. *DailyResult for
+// ascii charts). Raw may be nil.
+type RunResult struct {
+	Name    string
+	Figures []*Figure
+	Raw     any
+}
+
+// Experiment is a named entry point with the uniform Run signature.
+type Experiment struct {
+	Name        string
+	Description string
+	Run         func(RunRequest) (*RunResult, error)
+}
+
+// registry holds the built-in experiments in registration order (the paper's
+// presentation order, which ecobench preserves in its output).
+var registry []Experiment
+
+// Register adds an experiment. It panics on a duplicate name: registration
+// happens at init time and a collision is a programming error.
+func Register(e Experiment) {
+	if e.Name == "" || e.Run == nil {
+		panic("experiments: Register needs a name and a Run function")
+	}
+	for _, got := range registry {
+		if got.Name == e.Name {
+			panic(fmt.Sprintf("experiments: duplicate registration of %q", e.Name))
+		}
+	}
+	registry = append(registry, e)
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// All returns the experiments in registration (paper) order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the registered names sorted alphabetically (for -help text
+// and error messages; use All for run order).
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run looks up and runs one experiment by name.
+func Run(name string, req RunRequest) (*RunResult, error) {
+	e, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return e.Run(req)
+}
+
+func init() {
+	Register(Experiment{
+		Name:        "fig2",
+		Description: "Fig. 2: assignment probability function f_a for p=2,3,5 (analytic)",
+		Run: func(RunRequest) (*RunResult, error) {
+			f, err := Fig2()
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Name: "fig2", Figures: []*Figure{f}}, nil
+		},
+	})
+	Register(Experiment{
+		Name:        "fig3",
+		Description: "Fig. 3: migration probability functions f_l, f_h (analytic)",
+		Run: func(RunRequest) (*RunResult, error) {
+			f, err := Fig3()
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Name: "fig3", Figures: []*Figure{f}}, nil
+		},
+	})
+	Register(Experiment{
+		Name:        "traces",
+		Description: "Figs. 4–5: workload characterization (utilization and deviation distributions)",
+		Run: func(req RunRequest) (*RunResult, error) {
+			opts := DefaultTraceOptions()
+			opts.RunConfig = req.Apply(opts.RunConfig)
+			f4, err := Fig4(opts)
+			if err != nil {
+				return nil, err
+			}
+			f5, err := Fig5(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Name: "traces", Figures: []*Figure{f4, f5}}, nil
+		},
+	})
+	Register(Experiment{
+		Name:        "daily",
+		Description: "Figs. 6–11: the two-day trace-driven consolidation run",
+		Run: func(req RunRequest) (*RunResult, error) {
+			opts := DefaultDailyOptions()
+			opts.RunConfig = req.Apply(opts.RunConfig)
+			if req.Eco != nil {
+				opts.Eco = *req.Eco
+			}
+			res, err := Daily(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Name: "daily", Figures: res.Figures(), Raw: res}, nil
+		},
+	})
+	Register(Experiment{
+		Name:        "assignonly",
+		Description: "Figs. 12–13: assignment-only simulation vs the fluid model",
+		Run: func(req RunRequest) (*RunResult, error) {
+			opts := DefaultAssignOnlyOptions()
+			opts.RunConfig = req.Apply(opts.RunConfig)
+			opts.Churn.ArrivalPerHour *= req.scale()
+			opts.Exact = req.Exact
+			if req.Eco != nil {
+				opts.Eco = *req.Eco
+			}
+			res, err := AssignOnly(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Name: "assignonly", Figures: []*Figure{res.Fig12(), res.Fig13()}, Raw: res}, nil
+		},
+	})
+	Register(Experiment{
+		Name:        "fluiderror",
+		Description: "§IV approximation quality: Eq. 11 vs the exact Eqs. 6–9",
+		Run: func(req RunRequest) (*RunResult, error) {
+			opts := DefaultFluidErrorOptions()
+			opts.RunConfig = req.Apply(opts.RunConfig)
+			f, err := FluidError(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Name: "fluiderror", Figures: []*Figure{f}}, nil
+		},
+	})
+	Register(Experiment{
+		Name:        "sensitivity",
+		Description: "§III sensitivity of ecoCloud to Th, Tl, alpha/beta",
+		Run: func(req RunRequest) (*RunResult, error) {
+			opts := DefaultSensitivityOptions()
+			opts.RunConfig = req.Apply(opts.RunConfig)
+			if req.Eco != nil {
+				opts.Base = *req.Eco
+			}
+			points, err := Sensitivity(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Name: "sensitivity", Figures: []*Figure{SensitivityFigure(points)}, Raw: points}, nil
+		},
+	})
+	Register(Experiment{
+		Name:        "multiresource",
+		Description: "§V extension: CPU-only vs multi-resource strategies on a RAM-tight mix",
+		Run: func(req RunRequest) (*RunResult, error) {
+			opts := DefaultMultiResourceOptions()
+			opts.RunConfig = req.Apply(opts.RunConfig)
+			if req.Eco != nil {
+				opts.Eco = *req.Eco
+			}
+			res, err := MultiResource(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Name: "multiresource", Figures: []*Figure{res.Figure()}, Raw: res}, nil
+		},
+	})
+	Register(Experiment{
+		Name:        "protocolday",
+		Description: "one day of the complete distributed system on the wire",
+		Run: func(req RunRequest) (*RunResult, error) {
+			opts := DefaultProtocolDayOptions()
+			opts.RunConfig = req.Apply(opts.RunConfig)
+			opts.Churn.ArrivalPerHour *= req.scale()
+			f, err := ProtocolDay(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Name: "protocolday", Figures: []*Figure{f}}, nil
+		},
+	})
+	Register(Experiment{
+		Name:        "scalability",
+		Description: "footnote-1 study: protocol cost per placement vs fleet size",
+		Run: func(req RunRequest) (*RunResult, error) {
+			opts := DefaultScalabilityOptions()
+			if req.scale() < 1 {
+				opts.FleetSizes = []int{50, 100, 200}
+				opts.Placements = 100
+			}
+			opts.RunConfig = req.Config.overlay(opts.RunConfig)
+			points, err := Scalability(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Name: "scalability", Figures: []*Figure{ScalabilityFigure(points)}, Raw: points}, nil
+		},
+	})
+	Register(Experiment{
+		Name:        "comparison",
+		Description: "ecoCloud vs centralized baselines (BFD, FFD, all-on) on the identical workload",
+		Run: func(req RunRequest) (*RunResult, error) {
+			opts := DefaultComparisonOptions()
+			opts.RunConfig = req.Apply(opts.RunConfig)
+			if req.Eco != nil {
+				opts.Eco = *req.Eco
+			}
+			res, err := Comparison(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Name: "comparison", Figures: []*Figure{res.Figure()}, Raw: res}, nil
+		},
+	})
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestRegistryRoundTrip runs every registered experiment at a small scale
+// with a live recorder and checks the uniform contract: figures come back
+// non-empty, and the run's manifest marshals to valid JSON with the metrics
+// snapshot folded in.
+func TestRegistryRoundTrip(t *testing.T) {
+	if len(All()) < 10 {
+		t.Fatalf("registry has %d experiments, expected the full paper set", len(All()))
+	}
+	// Overrides that keep the heavyweight experiments fast; the Scale knob
+	// shrinks the rest.
+	small := map[string]RunConfig{
+		"daily":       {Servers: 15, NumVMs: 225, Horizon: 6 * time.Hour},
+		"assignonly":  {Servers: 15, NumVMs: 225, Horizon: 6 * time.Hour},
+		"sensitivity": {Servers: 10, NumVMs: 150, Horizon: 3 * time.Hour},
+		"comparison":  {Servers: 10, NumVMs: 150, Horizon: 4 * time.Hour},
+		"protocolday": {Servers: 15, NumVMs: 225, Horizon: 4 * time.Hour},
+		"fluiderror":  {Servers: 20, Horizon: 2 * time.Hour},
+		"traces":      {NumVMs: 200, Horizon: 6 * time.Hour},
+		"multiresource": {
+			Servers: 12, NumVMs: 180, Horizon: 4 * time.Hour,
+		},
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			t.Parallel()
+			rec := obs.NewRecorder(nil, nil)
+			cfg := small[e.Name]
+			cfg.Obs = rec
+			manifest := obs.NewManifest(e.Name, cfg, 1)
+			res, err := e.Run(RunRequest{Config: cfg, Scale: 0.05})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Name != e.Name {
+				t.Fatalf("result name %q, want %q", res.Name, e.Name)
+			}
+			if len(res.Figures) == 0 {
+				t.Fatal("no figures returned")
+			}
+			for _, f := range res.Figures {
+				if f.ID == "" || len(f.Rows) == 0 {
+					t.Fatalf("figure %q is empty", f.ID)
+				}
+			}
+
+			manifest.Finish(rec)
+			dir := t.TempDir()
+			path, err := manifest.WriteFile(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if filepath.Base(path) != "run.json" {
+				t.Fatalf("manifest path = %q", path)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got obs.Manifest
+			if err := json.Unmarshal(data, &got); err != nil {
+				t.Fatalf("manifest is not valid JSON: %v", err)
+			}
+			if got.Experiment != e.Name || got.GoVersion == "" || got.WallSeconds < 0 {
+				t.Fatalf("manifest round-trip lost fields: %+v", got)
+			}
+		})
+	}
+}
+
+// TestRegistryUnknownName checks Run's error path names the candidates.
+func TestRegistryUnknownName(t *testing.T) {
+	if _, err := Run("nope", RunRequest{}); err == nil {
+		t.Fatal("expected an error for an unknown experiment")
+	}
+}
+
+// TestRunRequestApply checks the merge order: scale first, then explicit
+// non-zero overrides win.
+func TestRunRequestApply(t *testing.T) {
+	def := RunConfig{Servers: 400, NumVMs: 6000, Horizon: 48 * time.Hour, Seed: 1}
+	got := RunRequest{Scale: 0.1, Config: RunConfig{Servers: 77}}.Apply(def)
+	if got.Servers != 77 {
+		t.Fatalf("explicit override lost: servers = %d", got.Servers)
+	}
+	if got.NumVMs != 600 {
+		t.Fatalf("scale not applied: vms = %d", got.NumVMs)
+	}
+	if got.Horizon != 48*time.Hour || got.Seed != 1 {
+		t.Fatalf("defaults clobbered: %+v", got)
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RunConfig is the cross-experiment core every Options struct embeds: the
+// four knobs shared by (nearly) every experiment, plus the telemetry
+// recorder threaded down into the simulation layers. Experiments that have
+// no direct use for a field document the mapping on their Options type
+// (e.g. churn-driven experiments map NumVMs to the initial VM population).
+type RunConfig struct {
+	Servers int           `json:"servers"` // fleet size
+	NumVMs  int           `json:"num_vms"` // workload size
+	Horizon time.Duration `json:"horizon"` // simulated time
+	Seed    uint64        `json:"seed"`    // master seed
+
+	// Obs receives run telemetry when non-nil; it is not part of the
+	// experiment's identity and stays out of manifests.
+	Obs *obs.Recorder `json:"-"`
+}
+
+// overlay returns def with every non-zero field of o applied on top: the
+// merge rule the registry uses to apply caller overrides to an experiment's
+// defaults. A zero Seed keeps the default (every default seed is 1, and
+// seeded reproduction runs never ask for seed 0).
+func (o RunConfig) overlay(def RunConfig) RunConfig {
+	if o.Servers > 0 {
+		def.Servers = o.Servers
+	}
+	if o.NumVMs > 0 {
+		def.NumVMs = o.NumVMs
+	}
+	if o.Horizon > 0 {
+		def.Horizon = o.Horizon
+	}
+	if o.Seed != 0 {
+		def.Seed = o.Seed
+	}
+	def.Obs = o.Obs
+	return def
+}
+
+// scaleInt multiplies n by scale, keeping a workable minimum of 3 so shrunk
+// experiments still have a fleet to consolidate.
+func scaleInt(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 3 {
+		v = 3
+	}
+	return v
+}

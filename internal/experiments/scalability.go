@@ -18,7 +18,13 @@ import (
 // that: wire messages, bytes and placement latency per assignment as the
 // fleet grows, under the §II broadcast protocol, group invitations, random
 // subsets, and the silent-reject variant.
+// ScalabilityOptions embeds RunConfig for the shared knobs; the sweep runs
+// over FleetSizes, so a non-zero RunConfig.Servers replaces the sweep with a
+// single fleet of that size. NumVMs and Horizon are unused (the study places
+// a fixed number of probe VMs, not a day-long population).
 type ScalabilityOptions struct {
+	RunConfig
+
 	FleetSizes []int
 	Placements int // placements measured per configuration
 
@@ -31,12 +37,12 @@ type ScalabilityOptions struct {
 	Subset int // subset size for Subset mode
 
 	DemandMHz float64 // per placed VM
-	Seed      uint64
 }
 
 // DefaultScalabilityOptions measures fleets from 50 to 800 servers.
 func DefaultScalabilityOptions() ScalabilityOptions {
 	return ScalabilityOptions{
+		RunConfig:   RunConfig{Seed: 1},
 		FleetSizes:  []int{50, 100, 200, 400, 800},
 		Placements:  300,
 		PreloadFrac: 0.5,
@@ -44,7 +50,6 @@ func DefaultScalabilityOptions() ScalabilityOptions {
 		Groups:      8,
 		Subset:      32,
 		DemandMHz:   300,
-		Seed:        1,
 	}
 }
 
@@ -63,6 +68,9 @@ type ScalabilityPoint struct {
 
 // Scalability runs the study and returns one point per (fleet, variant).
 func Scalability(opts ScalabilityOptions) ([]ScalabilityPoint, error) {
+	if opts.Servers > 0 {
+		opts.FleetSizes = []int{opts.Servers}
+	}
 	if opts.Placements <= 0 || len(opts.FleetSizes) == 0 {
 		return nil, fmt.Errorf("experiments: scalability needs fleets and placements")
 	}

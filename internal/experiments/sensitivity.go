@@ -21,16 +21,13 @@ import (
 //  3. alpha and beta trade migration frequency against the time a server
 //     may stay under-/over-utilized.
 type SensitivityOptions struct {
-	Servers int
-	NumVMs  int
-	Horizon time.Duration
+	RunConfig
 
 	Base    ecocloud.Config
 	Gen     trace.GenConfig
 	Power   dc.PowerModel
 	Control time.Duration
 	Sample  time.Duration
-	Seed    uint64
 
 	ThValues   []float64
 	TlValues   []float64
@@ -45,15 +42,12 @@ func DefaultSensitivityOptions() SensitivityOptions {
 	gen.NumVMs = 1500
 	gen.Horizon = 24 * time.Hour
 	return SensitivityOptions{
-		Servers:    100,
-		NumVMs:     gen.NumVMs,
-		Horizon:    gen.Horizon,
+		RunConfig:  RunConfig{Servers: 100, NumVMs: gen.NumVMs, Horizon: gen.Horizon, Seed: 1},
 		Base:       ecocloud.DefaultConfig(),
 		Gen:        gen,
 		Power:      dc.DefaultPowerModel(),
 		Control:    5 * time.Minute,
 		Sample:     30 * time.Minute,
-		Seed:       1,
 		ThValues:   []float64{0.85, 0.92, 0.95, 0.98},
 		TlValues:   []float64{0.30, 0.40, 0.50, 0.60},
 		AlphaBetas: []float64{0.10, 0.25, 0.50, 1.00},
@@ -97,6 +91,7 @@ func Sensitivity(opts SensitivityOptions) ([]SensitivityPoint, error) {
 			SampleInterval:   opts.Sample,
 			PowerModel:       opts.Power,
 			RecordServerUtil: true,
+			Obs:              opts.Obs,
 		}, pol)
 		if err != nil {
 			return SensitivityPoint{}, err

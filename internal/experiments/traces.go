@@ -7,20 +7,29 @@ import (
 )
 
 // TraceOptions parameterizes the workload-characterization figures.
+// RunConfig semantics: NumVMs and Horizon drive the generator
+// (Gen.NumVMs/Gen.Horizon); Servers is unused — no fleet is simulated.
 type TraceOptions struct {
+	RunConfig
 	Gen  trace.GenConfig
-	Seed uint64
 	Bins int
 }
 
 // DefaultTraceOptions is the paper scale: 6,000 VMs over 48 hours.
 func DefaultTraceOptions() TraceOptions {
-	return TraceOptions{Gen: trace.DefaultGenConfig(), Seed: 1, Bins: 25}
+	gen := trace.DefaultGenConfig()
+	return TraceOptions{
+		RunConfig: RunConfig{NumVMs: gen.NumVMs, Horizon: gen.Horizon, Seed: 1},
+		Gen:       gen,
+		Bins:      25,
+	}
 }
 
 // Fig4 reproduces Figure 4: the distribution of per-VM average CPU
 // utilization (percent of reference capacity).
 func Fig4(opts TraceOptions) (*Figure, error) {
+	opts.Gen.NumVMs = opts.NumVMs
+	opts.Gen.Horizon = opts.Horizon
 	set, err := trace.Generate(opts.Gen, opts.Seed)
 	if err != nil {
 		return nil, err
@@ -43,6 +52,8 @@ func Fig4(opts TraceOptions) (*Figure, error) {
 // Fig5 reproduces Figure 5: the distribution of the deviation between the
 // punctual and average CPU utilization of the same VM.
 func Fig5(opts TraceOptions) (*Figure, error) {
+	opts.Gen.NumVMs = opts.NumVMs
+	opts.Gen.Horizon = opts.Horizon
 	set, err := trace.Generate(opts.Gen, opts.Seed)
 	if err != nil {
 		return nil, err

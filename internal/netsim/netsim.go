@@ -23,7 +23,7 @@ type NodeID int
 type Message struct {
 	From, To NodeID
 	Kind     string
-	Payload  interface{}
+	Payload  any
 	Size     int // bytes, for the size-proportional latency share
 }
 
@@ -100,7 +100,7 @@ func (n *Network) Send(msg Message) {
 // Broadcast sends the same payload to every destination. The data-center
 // fabric supports hardware broadcast (footnote 1), so the sender pays one
 // message; each delivery still counts its bytes and its own latency draw.
-func (n *Network) Broadcast(from NodeID, tos []NodeID, kind string, payload interface{}, size int) {
+func (n *Network) Broadcast(from NodeID, tos []NodeID, kind string, payload any, size int) {
 	if len(tos) == 0 {
 		return
 	}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Journal writes one JSON object per line for every emitted event:
+//
+//	{"t_sim_ns": 1800000000000, "kind": "migrate", "vm": 12, "server": 3, "dest": 7}
+//
+// t_sim_ns is virtual simulation time, so journals of the same seeded run are
+// byte-identical. Extra fields come flattened from the emitter's map, sorted
+// by key (encoding/json sorts map keys). Writes are serialized by a mutex so
+// parallel experiment variants can share one journal; encoding errors are
+// swallowed — the journal is best-effort observability and must never fail a
+// run.
+type Journal struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJournal returns a journal writing JSONL to w.
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one event line. Safe on a nil journal.
+func (j *Journal) Emit(simTime time.Duration, kind string, fields map[string]any) {
+	if j == nil {
+		return
+	}
+	line := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		line[k] = v
+	}
+	line["t_sim_ns"] = int64(simTime)
+	line["kind"] = kind
+	j.mu.Lock()
+	_ = j.enc.Encode(line)
+	j.mu.Unlock()
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// StartProgress launches a goroutine that writes one line() per interval to
+// w until the returned stop function is called. stop is idempotent, blocks
+// until the goroutine exits, and writes one final line so short runs still
+// report. line typically reads atomic gauges/counters the run updates.
+func StartProgress(w io.Writer, interval time.Duration, line func() string) (stop func()) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fmt.Fprintln(w, line())
+			case <-done:
+				fmt.Fprintln(w, line())
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Recorder is the nil-safe facade instrumented code calls. A nil *Recorder
+// is the "telemetry off" state: every method returns immediately after one
+// pointer test, so hot paths can call unconditionally.
+//
+// A Recorder couples a metric Registry (always present when the recorder is
+// non-nil) with an optional event Journal.
+type Recorder struct {
+	reg     *Registry
+	journal *Journal
+}
+
+// NewRecorder returns a recorder over reg, journaling to j (which may be
+// nil for metrics-only recording). A nil reg allocates a fresh registry.
+func NewRecorder(reg *Registry, j *Journal) *Recorder {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Recorder{reg: reg, journal: j}
+}
+
+// Enabled reports whether telemetry is on (the recorder is non-nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Registry exposes the underlying registry (nil when disabled).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Count adds d to the named counter.
+func (r *Recorder) Count(name string, d int64) {
+	if r == nil {
+		return
+	}
+	r.reg.Counter(name).Add(d)
+}
+
+// Gauge sets the named gauge to v.
+func (r *Recorder) Gauge(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.reg.Gauge(name).Set(v)
+}
+
+// GaugeMax raises the named gauge to v if v exceeds it (high-water mark).
+func (r *Recorder) GaugeMax(name string, v int64) {
+	if r == nil {
+		return
+	}
+	r.reg.Gauge(name).SetMax(v)
+}
+
+// Observe records one duration on the named timer.
+func (r *Recorder) Observe(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.reg.Timer(name).Observe(d)
+}
+
+// Emit writes one event to the journal, if one is attached. simTime is the
+// virtual timestamp; fields holds event-specific key/values (may be nil).
+func (r *Recorder) Emit(simTime time.Duration, kind string, fields map[string]any) {
+	if r == nil || r.journal == nil {
+		return
+	}
+	r.journal.Emit(simTime, kind, fields)
+}
+
+// Journaling reports whether Emit would write anywhere; callers building
+// non-trivial field maps can skip the work when it would be dropped.
+func (r *Recorder) Journaling() bool { return r != nil && r.journal != nil }
+
+// SampleMemory reads the Go heap and updates the mem.heap_alloc_bytes gauge
+// and the mem.heap_peak_bytes high-water mark. Call it at a coarse cadence
+// (sample ticks, progress ticks); ReadMemStats stops the world briefly.
+func (r *Recorder) SampleMemory() {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.reg.Gauge("mem.heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.reg.Gauge("mem.heap_peak_bytes").SetMax(int64(ms.HeapAlloc))
+}
+
+// Snapshot returns a snapshot of the registry (zero value when disabled).
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	return r.reg.Snapshot()
+}

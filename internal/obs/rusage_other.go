@@ -1,0 +1,6 @@
+//go:build !unix
+
+package obs
+
+// cpuTimes is unavailable off unix; the manifest reports zeros there.
+func cpuTimes() (user, sys float64) { return 0, 0 }

@@ -1,0 +1,17 @@
+//go:build unix
+
+package obs
+
+import "syscall"
+
+// cpuTimes returns the process's user and system CPU seconds so far.
+func cpuTimes() (user, sys float64) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0
+	}
+	toSec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return toSec(ru.Utime), toSec(ru.Stime)
+}

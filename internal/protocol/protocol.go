@@ -29,6 +29,7 @@ import (
 	"repro/internal/dc"
 	"repro/internal/ecocloud"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -93,6 +94,12 @@ type Config struct {
 
 	// Message sizes in bytes (headers + payload), for the bandwidth share.
 	InviteSize, ReplySize, AssignSize int
+
+	// Obs, when set, receives protocol telemetry: placements, wake-ups,
+	// migrations by kind, saturations, placement latency, plus the engine
+	// metrics and — with a journal attached — data-center mutation events.
+	// Nil (the default) costs the message handlers nothing.
+	Obs *obs.Recorder `json:"-"`
 }
 
 // DefaultConfig returns the §II protocol on a 10 GbE fabric.
@@ -282,6 +289,21 @@ func New(cfg Config, specs []dc.Spec, seed uint64) (*Cluster, error) {
 		s := s
 		c.net.Register(serverNode(s.ID), func(m netsim.Message) { c.onServerMessage(s, m) })
 	}
+	if cfg.Obs.Enabled() {
+		eng.SetRecorder(cfg.Obs)
+		if cfg.Obs.Journaling() {
+			c.dc.SetJournal(func(e dc.Event) {
+				fields := map[string]any{"server": e.Server}
+				if e.VM >= 0 {
+					fields["vm"] = e.VM
+				}
+				if e.Dest >= 0 {
+					fields["dest"] = e.Dest
+				}
+				cfg.Obs.Emit(eng.Now(), string(e.Kind), fields)
+			})
+		}
+	}
 	return c, nil
 }
 
@@ -462,8 +484,10 @@ func (c *Cluster) onServerMessage(s *dc.Server, m netsim.Message) {
 		switch tr.kind {
 		case "high":
 			c.Stats.MigrationsHigh++
+			c.cfg.Obs.Count("protocol.migrations_high", 1)
 		default:
 			c.Stats.MigrationsLow++
+			c.cfg.Obs.Count("protocol.migrations_low", 1)
 		}
 		c.Stats.MigrationLatency += now - tr.start
 	case "wake":
@@ -561,6 +585,7 @@ func (c *Cluster) wakeAssign(vm *trace.VM, start time.Duration) {
 	}
 	if wake != nil {
 		c.Stats.Wakes++
+		c.cfg.Obs.Count("protocol.wakeups", 1)
 		c.net.Send(netsim.Message{
 			From: managerNode, To: serverNode(wake.ID), Kind: "assign",
 			Payload: assignReq{vm: vm, wake: true, start: start}, Size: c.cfg.AssignSize,
@@ -569,6 +594,7 @@ func (c *Cluster) wakeAssign(vm *trace.VM, start time.Duration) {
 	}
 	// Total saturation: degrade onto the least-utilized active server.
 	c.Stats.Saturations++
+	c.cfg.Obs.Count("protocol.saturations", 1)
 	var best *dc.Server
 	bestU := 0.0
 	for _, s := range c.dc.Servers {
@@ -598,6 +624,8 @@ func (c *Cluster) recordPlacement(start, now time.Duration) {
 	if lat > c.Stats.MaxLatency {
 		c.Stats.MaxLatency = lat
 	}
+	c.cfg.Obs.Count("protocol.placements", 1)
+	c.cfg.Obs.Observe("protocol.placement_latency", lat)
 }
 
 // StartMigrationScan arms the periodic local monitoring on every server
@@ -712,6 +740,7 @@ func (c *Cluster) onMigReq(req migReq) {
 		if req.kind == "high" {
 			if wake := c.pickWake(demand, ta); wake != nil {
 				c.Stats.Wakes++
+				c.cfg.Obs.Count("protocol.wakeups", 1)
 				c.net.Send(netsim.Message{
 					From: managerNode, To: serverNode(wake.ID), Kind: "wake",
 					Payload: nil, Size: c.cfg.AssignSize,
@@ -727,6 +756,7 @@ func (c *Cluster) onMigReq(req migReq) {
 		// Low migration with no destination, or nothing to wake: the VM is
 		// not migrated at all (§II).
 		c.Stats.MigrationsAborted++
+		c.cfg.Obs.Count("protocol.migrations_aborted", 1)
 		delete(c.inflight, req.vmID)
 	}
 	opened := c.openRound(ta, demand, req.serverID, func(r *round) {

@@ -14,6 +14,8 @@ import (
 	"container/heap"
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Handler is a callback invoked when its event fires. The engine passes
@@ -37,8 +39,8 @@ func (q eventQueue) Less(i, j int) bool {
 	return q[i].seq < q[j].seq
 }
 func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)
 	e := old[n-1]
@@ -55,6 +57,11 @@ type Engine struct {
 	stopped bool
 	// Processed counts events dispatched so far; useful for tests and stats.
 	processed uint64
+
+	// rec, when non-nil, receives engine telemetry: events dispatched, the
+	// queue-depth high-water mark, and wall time per handler name. The
+	// default nil recorder costs the dispatch loop one pointer test.
+	rec *obs.Recorder
 }
 
 // New returns an engine with the clock at zero and no pending events.
@@ -62,6 +69,11 @@ func New() *Engine { return &Engine{} }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
+
+// SetRecorder installs (or clears, with nil) the telemetry recorder. Metrics
+// written: counter sim.events, gauge sim.queue_depth_max, gauge sim.now_ns,
+// and one timer sim.handler.<name> per distinct handler name.
+func (e *Engine) SetRecorder(r *obs.Recorder) { e.rec = r }
 
 // Processed returns the number of events dispatched so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -131,7 +143,16 @@ func (e *Engine) Run(horizon time.Duration) {
 		heap.Pop(&e.queue)
 		e.now = next.at
 		e.processed++
+		if e.rec == nil {
+			next.fn(e)
+			continue
+		}
+		e.rec.GaugeMax("sim.queue_depth_max", int64(len(e.queue)+1))
+		e.rec.Gauge("sim.now_ns", int64(e.now))
+		start := time.Now()
 		next.fn(e)
+		e.rec.Observe("sim.handler."+next.name, time.Since(start))
+		e.rec.Count("sim.events", 1)
 	}
 	if horizon > 0 && e.now < horizon && !e.stopped {
 		e.now = horizon

@@ -3,6 +3,8 @@ package sim
 import (
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestEventsFireInTimestampOrder(t *testing.T) {
@@ -179,5 +181,31 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 			e.Schedule(time.Duration(j%37)*time.Second, "e", func(*Engine) {})
 		}
 		e.Run(0)
+	}
+}
+
+func TestRecorderCountsEvents(t *testing.T) {
+	e := New()
+	rec := obs.NewRecorder(nil, nil)
+	e.SetRecorder(rec)
+	for i := 0; i < 5; i++ {
+		e.Schedule(time.Duration(i)*time.Second, "tick", func(*Engine) {})
+	}
+	e.Schedule(10*time.Second, "other", func(*Engine) {})
+	e.Run(0)
+	s := rec.Snapshot()
+	if got := s.Counters["sim.events"]; got != 6 {
+		t.Errorf("sim.events = %d, want 6", got)
+	}
+	// All 6 events were queued before dispatch began, so the high-water
+	// mark must have seen the full queue.
+	if got := s.Gauges["sim.queue_depth_max"]; got != 6 {
+		t.Errorf("sim.queue_depth_max = %d, want 6", got)
+	}
+	if got := s.Timers["sim.handler.tick"].Count; got != 5 {
+		t.Errorf("handler timer count = %d, want 5", got)
+	}
+	if got := s.Gauges["sim.now_ns"]; got != int64(10*time.Second) {
+		t.Errorf("sim.now_ns = %d, want %d", got, int64(10*time.Second))
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -28,14 +29,21 @@ func DefaultLimits() Limits {
 	return Limits{MaxServers: 400, MaxVMs: 6000, MaxHorizon: 48 * time.Hour}
 }
 
-// Handler serves the dashboard.
+// Handler serves the dashboard. All runs share one telemetry registry so a
+// /debug/vars export (see cmd/ecoweb) shows live, cumulative sim counters.
 type Handler struct {
 	limits Limits
+	reg    *obs.Registry
 }
 
 // New returns the dashboard handler.
 func New(limits Limits) *Handler {
-	return &Handler{limits: limits}
+	return &Handler{limits: limits, reg: obs.NewRegistry()}
+}
+
+// Registry exposes the shared telemetry registry the handler's runs feed.
+func (h *Handler) Registry() *obs.Registry {
+	return h.reg
 }
 
 // ServeHTTP implements http.Handler: GET / renders the form, GET /run
@@ -115,6 +123,7 @@ func (h *Handler) run(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
+	opts.Obs = obs.NewRecorder(h.reg, nil)
 
 	res, err := experiments.Daily(opts)
 	if err != nil {
