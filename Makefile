@@ -2,15 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench figures race cover clean
+.PHONY: all build vet lint test bench figures race cover clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Determinism/correctness linter (see DESIGN.md "Determinism contract").
+lint:
+	$(GO) run ./cmd/ecolint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,165 @@
+// Command ecolint runs the repository's determinism/correctness linter (see
+// internal/lint and the "Determinism contract" section of DESIGN.md) over
+// package patterns:
+//
+//	go run ./cmd/ecolint ./...                 # the whole module (CI gate)
+//	go run ./cmd/ecolint ./internal/sim        # one package
+//	go run ./cmd/ecolint -json ./...           # machine-readable findings
+//
+// Patterns are directories (with an optional /... suffix for subtrees); the
+// module root is discovered by walking up from the first pattern, so the
+// linter can also be pointed at the fixture module under
+// internal/lint/testdata. Exit status: 0 clean, 1 findings, 2 errors.
+//
+// Rules: wallclock, globalrand, explicit-source, float-eq, ordered-output.
+// A finding is waived only by an annotation with a reason, e.g.
+//
+//	//ecolint:allow wallclock — progress heartbeat runs on host time
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		scope   = flag.String("scope", "", "comma-separated sim-critical package patterns (default: the repository scopes)")
+		rules   = flag.Bool("rules", false, "list the rules and exit")
+	)
+	flag.Parse()
+
+	if *rules {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	code, err := run(flag.Args(), *scope, *jsonOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ecolint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, scope string, jsonOut bool) (int, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	root, patterns, err := resolve(args)
+	if err != nil {
+		return 0, err
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		return 0, err
+	}
+	cfg := lint.DefaultConfig()
+	if scope != "" {
+		cfg.SimCritical = strings.Split(scope, ",")
+	}
+	diags, err := lint.Run(loader, cfg, patterns)
+	if err != nil {
+		return 0, err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(shortenPath(d))
+		}
+		if len(diags) > 0 {
+			fmt.Printf("ecolint: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// resolve maps directory arguments to the owning module root and its
+// package patterns ("dir" or "dir/...", relative to the root).
+func resolve(args []string) (root string, patterns []string, err error) {
+	for _, arg := range args {
+		dir := strings.TrimSuffix(arg, "...")
+		dir = strings.TrimSuffix(dir, "/")
+		if dir == "" || dir == "." {
+			dir = "."
+		}
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return "", nil, err
+		}
+		if info, statErr := os.Stat(abs); statErr != nil || !info.IsDir() {
+			return "", nil, fmt.Errorf("pattern %q: %s is not a directory", arg, abs)
+		}
+		modRoot, err := findModuleRoot(abs)
+		if err != nil {
+			return "", nil, fmt.Errorf("pattern %q: %w", arg, err)
+		}
+		if root == "" {
+			root = modRoot
+		} else if root != modRoot {
+			return "", nil, fmt.Errorf("patterns span two modules: %s and %s", root, modRoot)
+		}
+		rel, err := filepath.Rel(modRoot, abs)
+		if err != nil {
+			return "", nil, err
+		}
+		pat := filepath.ToSlash(rel)
+		if strings.HasSuffix(arg, "...") {
+			if pat == "." {
+				pat = "..."
+			} else {
+				pat += "/..."
+			}
+		} else if pat == "." {
+			pat = ""
+		}
+		patterns = append(patterns, pat)
+	}
+	return root, patterns, nil
+}
+
+// findModuleRoot walks up from dir to the nearest directory with a go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// shortenPath renders a diagnostic with the file path relative to the
+// current directory when that is shorter — friendlier terminal output,
+// still clickable.
+func shortenPath(d lint.Diagnostic) string {
+	if cwd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(cwd, d.File); err == nil && len(rel) < len(d.File) {
+			d.File = rel
+		}
+	}
+	return d.String()
+}

@@ -46,11 +46,11 @@ func Chart(w io.Writer, title string, x []float64, series map[string][]float64, 
 	if ymin > 0 && ymin < 0.25*(ymax-ymin+1e-12) {
 		ymin = 0 // anchor near-zero baselines at zero
 	}
-	if ymax == ymin {
+	if ymax <= ymin { // degenerate range: every sample equal
 		ymax = ymin + 1
 	}
 	xmin, xmax := x[0], x[len(x)-1]
-	if xmax == xmin {
+	if xmax <= xmin {
 		xmax = xmin + 1
 	}
 

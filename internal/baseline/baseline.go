@@ -117,6 +117,7 @@ func (c *Centralized) pick(env cluster.Env, demand float64, exclude map[int]bool
 		case BestFitPower:
 			u := s.UtilizationAt(env.Now)
 			delta := c.cfg.Power.Power(dc.Active, u+demand/s.CapacityMHz()) - c.cfg.Power.Power(dc.Active, u)
+			//ecolint:allow float-eq — exact tie on power delta falls through to the utilization tie-break
 			if best == nil || delta < bestDelta || (delta == bestDelta && u > bestUtil) {
 				best, bestDelta, bestUtil = s, delta, u
 			}
@@ -216,6 +217,7 @@ func (c *Centralized) OnControl(env cluster.Env) {
 
 	// Decreasing demand order; ties by VM ID for determinism.
 	sort.Slice(migrants, func(i, j int) bool {
+		//ecolint:allow float-eq — sort comparator: exact ties fall through to the VM-ID tie-break
 		if migrants[i].demand != migrants[j].demand {
 			return migrants[i].demand > migrants[j].demand
 		}
@@ -293,6 +295,7 @@ func (c *Centralized) overloadPicks(s *dc.Server, now time.Duration) []migrant {
 	// Sort ascending by demand for the "smallest sufficient" scan.
 	sort.Slice(vms, func(i, j int) bool {
 		di, dj := vms[i].DemandAt(now), vms[j].DemandAt(now)
+		//ecolint:allow float-eq — sort comparator: exact ties fall through to the VM-ID tie-break
 		if di != dj {
 			return di < dj
 		}

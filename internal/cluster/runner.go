@@ -289,6 +289,13 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 	eng.Every(0, cfg.ControlInterval, "control", func(e *sim.Engine) {
 		now := e.Now()
 		policy.OnControl(Env{Now: now, DC: d, Rec: rec})
+		if d.Checked() {
+			// Structural invariants are verified per mutation in checked
+			// mode; the numeric audit is per control tick.
+			if err := d.CheckRuntime(now); err != nil {
+				panic(fmt.Sprintf("cluster: control tick at %v: %v", now, err))
+			}
+		}
 		for _, s := range d.Servers {
 			if s.State() != dc.Active {
 				continue

@@ -1,0 +1,11 @@
+//go:build ecodebug
+
+package dc
+
+// defaultChecked under the ecodebug tag: every DataCenter verifies its
+// invariants after every mutation. Build or test with
+//
+//	go test -tags ecodebug ./...
+//
+// to run the whole experiment suite in paranoid mode.
+const defaultChecked = true

@@ -1,0 +1,8 @@
+//go:build !ecodebug
+
+package dc
+
+// defaultChecked is the initial Checked state of every DataCenter built by
+// New. The ordinary build leaves checking off: CheckInvariants walks every
+// server per mutation, which would dominate large-fleet runs.
+const defaultChecked = false

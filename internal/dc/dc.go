@@ -219,12 +219,15 @@ type DataCenter struct {
 
 	// journal, when set, receives every state mutation (see journal.go).
 	journal func(Event)
+
+	// checked enables per-mutation invariant verification (see checked.go).
+	checked bool
 }
 
 // New builds a data center with one server per spec. Servers start
 // hibernated; policies wake what they need.
 func New(specs []Spec) *DataCenter {
-	d := &DataCenter{byVM: make(map[int]*Server)}
+	d := &DataCenter{byVM: make(map[int]*Server), checked: defaultChecked}
 	for i, sp := range specs {
 		if sp.Cores <= 0 || sp.CoreMHz <= 0 {
 			panic(fmt.Sprintf("dc: invalid spec %d: %+v", i, sp))

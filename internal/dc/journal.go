@@ -26,9 +26,14 @@ const (
 // has been applied; it must not mutate the data center.
 func (d *DataCenter) SetJournal(fn func(Event)) { d.journal = fn }
 
-// emit reports an event to the journal if one is installed.
+// emit reports an event to the journal if one is installed, then re-verifies
+// the invariants when checked mode is on (the event names the culprit in the
+// panic message).
 func (d *DataCenter) emit(e Event) {
 	if d.journal != nil {
 		d.journal(e)
+	}
+	if d.checked {
+		d.verify(e)
 	}
 }

@@ -20,8 +20,8 @@ import (
 // initial VM population (Churn.InitialVMs) and Horizon the churn horizon;
 // both are copied into Churn when the experiment runs.
 type AssignOnlyOptions struct {
-	RunConfig       // Servers paper: 100
-	Cores     int   // paper: 6 (2 GHz)
+	RunConfig     // Servers paper: 100
+	Cores     int // paper: 6 (2 GHz)
 
 	Churn trace.ChurnConfig
 	Eco   ecocloud.Config

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// runDailyGolden runs the registered "daily" experiment at test scale with
+// the given seed and returns (a) every figure rendered to CSV, concatenated,
+// and (b) the raw JSONL journal of the run — the two artifacts the
+// determinism contract promises are a pure function of the seed.
+func runDailyGolden(t *testing.T, seed uint64) (csv, journal []byte) {
+	t.Helper()
+	var jbuf bytes.Buffer
+	res, err := Run("daily", RunRequest{
+		Config: RunConfig{
+			Servers: 20,
+			NumVMs:  300,
+			Horizon: 6 * time.Hour,
+			Seed:    seed,
+			Obs:     obs.NewRecorder(nil, obs.NewJournal(&jbuf)),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cbuf bytes.Buffer
+	for _, f := range res.Figures {
+		fmt.Fprintf(&cbuf, "== %s ==\n", f.ID)
+		if err := f.WriteCSV(&cbuf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cbuf.Bytes(), jbuf.Bytes()
+}
+
+// TestDailyIsSeedDeterministic is the golden determinism test: two runs of
+// the daily experiment with the same seed must produce byte-identical CSV
+// output and byte-identical event journals. This is the bit-reproducibility
+// claim DESIGN.md's determinism contract makes, checked end to end through
+// the registry, the trace generator, the policy, and the simulation engine.
+func TestDailyIsSeedDeterministic(t *testing.T) {
+	csv1, journal1 := runDailyGolden(t, 42)
+	csv2, journal2 := runDailyGolden(t, 42)
+
+	if !bytes.Equal(csv1, csv2) {
+		t.Errorf("same seed, different CSV output (%d vs %d bytes)", len(csv1), len(csv2))
+		t.Logf("first divergence at byte %d", firstDiff(csv1, csv2))
+	}
+	if !bytes.Equal(journal1, journal2) {
+		t.Errorf("same seed, different journals (%d vs %d bytes)", len(journal1), len(journal2))
+		t.Logf("first divergence at byte %d", firstDiff(journal1, journal2))
+	}
+	if len(journal1) == 0 {
+		t.Error("journal is empty; the determinism check is vacuous")
+	}
+}
+
+// TestDailySeedChangesOutput pins the other half of the contract: the seed
+// is actually load-bearing. A different seed must perturb the run (otherwise
+// the golden test above would pass trivially on a seed-ignoring pipeline).
+func TestDailySeedChangesOutput(t *testing.T) {
+	_, journal1 := runDailyGolden(t, 42)
+	_, journal2 := runDailyGolden(t, 43)
+	if bytes.Equal(journal1, journal2) {
+		t.Error("seeds 42 and 43 produced identical journals; the seed is not reaching the workload")
+	}
+}
+
+// firstDiff returns the index of the first differing byte.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

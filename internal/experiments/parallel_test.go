@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	const n = 100
+	var hits [n]int32
+	if err := forEach(n, func(i int) error {
+		atomic.AddInt32(&hits[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		if err := forEach(n, func(int) error {
+			t.Errorf("fn called for n=%d", n)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestForEachFirstErrorByIndex: when several indices fail, the reported
+// error is the lowest-index one regardless of completion order, so a failing
+// sweep fails identically run to run.
+func TestForEachFirstErrorByIndex(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for trial := 0; trial < 10; trial++ {
+		err := forEach(8, func(i int) error {
+			switch i {
+			case 2:
+				return errLow
+			case 6:
+				return errHigh
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Fatalf("trial %d: got %v, want the index-2 error", trial, err)
+		}
+	}
+}
+
+// registryCase is one experiment invocation small enough for the concurrent
+// equivalence test.
+type registryCase struct {
+	name string
+	req  RunRequest
+}
+
+func parallelCases() []registryCase {
+	return []registryCase{
+		{"fig2", RunRequest{}},
+		{"fig3", RunRequest{}},
+		{"traces", RunRequest{Config: RunConfig{NumVMs: 400, Horizon: 6 * time.Hour}}},
+		{"fluiderror", RunRequest{Config: RunConfig{Servers: 20, Horizon: 6 * time.Hour}}},
+		{"daily", RunRequest{Config: RunConfig{Servers: 20, NumVMs: 300, Horizon: 6 * time.Hour}}},
+	}
+}
+
+// figureRows extracts the numeric content of a result for comparison.
+func figureRows(res *RunResult) map[string][][]float64 {
+	out := make(map[string][][]float64, len(res.Figures))
+	for _, f := range res.Figures {
+		out[f.ID] = f.Rows
+	}
+	return out
+}
+
+// TestRegistryParallelMatchesSequential runs five experiments concurrently
+// through the registry (via the same forEach the sweep drivers use) and
+// asserts each produces exactly the rows its sequential run produces.
+// Under -race this also proves the registry and experiment drivers share no
+// mutable state across concurrent runs.
+func TestRegistryParallelMatchesSequential(t *testing.T) {
+	cases := parallelCases()
+
+	sequential := make([]map[string][][]float64, len(cases))
+	for i, c := range cases {
+		res, err := Run(c.name, c.req)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", c.name, err)
+		}
+		sequential[i] = figureRows(res)
+	}
+
+	concurrent := make([]map[string][][]float64, len(cases))
+	if err := forEach(len(cases), func(i int) error {
+		res, err := Run(cases[i].name, cases[i].req)
+		if err != nil {
+			return fmt.Errorf("%s concurrent: %w", cases[i].name, err)
+		}
+		concurrent[i] = figureRows(res)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, c := range cases {
+		if !reflect.DeepEqual(sequential[i], concurrent[i]) {
+			t.Errorf("%s: concurrent run diverges from sequential run", c.name)
+		}
+	}
+}

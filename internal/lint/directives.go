@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A finding is waived with an annotation naming the rule and giving a
+// reason:
+//
+//	start := time.Now() //ecolint:allow wallclock — telemetry timer
+//
+// Placement rules:
+//
+//   - a directive on line L covers diagnostics on line L and on line L+1
+//     (so it can sit on its own line above the waived statement);
+//   - a directive inside the doc comment of a top-level declaration covers
+//     the whole declaration (one annotation for a genuinely wall-clock
+//     function like a progress reporter).
+//
+// The reason is mandatory and the rule name must be one of the known rules;
+// a malformed directive is itself reported under the "directive" rule —
+// silent, unexplained waivers are exactly what the linter exists to prevent.
+
+const directivePrefix = "ecolint:allow"
+
+// directive is one parsed //ecolint:allow annotation.
+type directive struct {
+	rule   string
+	reason string
+	pos    token.Position
+	// cover is the declaration range the directive applies to when it sits
+	// in a top-level doc comment; zero for line-scoped directives.
+	coverStart, coverEnd int // line range, inclusive; 0 when line-scoped
+}
+
+// directiveSet indexes the directives of one package.
+type directiveSet struct {
+	// byFile maps file path -> directives in that file.
+	byFile map[string][]directive
+	// malformed directives become diagnostics of their own.
+	malformed []Diagnostic
+}
+
+// collectDirectives parses every //ecolint:allow comment in pkg.
+func collectDirectives(fset *token.FileSet, pkg *Package) directiveSet {
+	set := directiveSet{byFile: make(map[string][]directive)}
+	for _, file := range pkg.Files {
+		// Doc-comment directives cover their declaration's line range.
+		docCover := map[*ast.CommentGroup][2]int{}
+		for _, decl := range file.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc != nil {
+				docCover[doc] = [2]int{
+					fset.Position(decl.Pos()).Line,
+					fset.Position(decl.End()).Line,
+				}
+			}
+		}
+		for _, group := range file.Comments {
+			cover, isDoc := docCover[group]
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, directivePrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d, problem := parseDirective(rest, pos)
+				if problem != "" {
+					set.malformed = append(set.malformed, Diagnostic{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Rule: RuleDirective, Message: problem,
+					})
+					continue
+				}
+				if isDoc {
+					d.coverStart, d.coverEnd = cover[0], cover[1]
+				}
+				set.byFile[pos.Filename] = append(set.byFile[pos.Filename], d)
+			}
+		}
+	}
+	return set
+}
+
+// parseDirective splits "ecolint:allow <rule> — <reason>" after the prefix.
+// It returns a problem string for malformed directives.
+func parseDirective(rest string, pos token.Position) (directive, string) {
+	rest = strings.TrimSpace(rest)
+	rule, reason, _ := strings.Cut(rest, " ")
+	rule = strings.TrimSuffix(rule, ":")
+	if !knownRule(rule) {
+		return directive{}, "allow directive names unknown rule " + strings.TrimSpace(rule)
+	}
+	reason = strings.TrimSpace(reason)
+	// Strip a leading separator: "—", "--", "-", ":".
+	for _, sep := range []string{"—", "--", "-", ":"} {
+		if cut, ok := strings.CutPrefix(reason, sep); ok {
+			reason = strings.TrimSpace(cut)
+			break
+		}
+	}
+	if reason == "" {
+		return directive{}, "allow directive for " + rule + " is missing a reason"
+	}
+	return directive{rule: rule, reason: reason, pos: pos}, ""
+}
+
+// knownRule reports whether name is a waivable rule.
+func knownRule(name string) bool {
+	switch name {
+	case RuleWallclock, RuleGlobalRand, RuleExplicitSource, RuleFloatEq, RuleOrderedOutput:
+		return true
+	}
+	return false
+}
+
+// filter drops diagnostics covered by a directive and appends the set's
+// malformed-directive diagnostics.
+func (s directiveSet) filter(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if !s.covers(d) {
+			out = append(out, d)
+		}
+	}
+	return append(out, s.malformed...)
+}
+
+// covers reports whether some directive waives d.
+func (s directiveSet) covers(d Diagnostic) bool {
+	for _, dir := range s.byFile[d.File] {
+		if dir.rule != d.Rule {
+			continue
+		}
+		if dir.coverEnd > 0 {
+			if d.Line >= dir.coverStart && d.Line <= dir.coverEnd {
+				return true
+			}
+			continue
+		}
+		if d.Line == dir.pos.Line || d.Line == dir.pos.Line+1 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// analyzerFloatEq reports == and != between floating-point operands — the
+// classic Eq. 1 threshold bug: a utilization that should trip exactly at Ta
+// never does because the comparison is exact while the arithmetic is not.
+// Thresholds belong in ordered comparisons (or an epsilon helper).
+//
+// Comparisons against an exact constant zero are allowed: 0 is exactly
+// representable and is the idiomatic "dimension not modeled / series empty"
+// sentinel throughout the repository (e.g. Spec.RAMMB == 0).
+var analyzerFloatEq = &Analyzer{
+	Name: RuleFloatEq,
+	Doc:  "forbids == and != between floating-point operands (except exact-zero sentinels)",
+	Run: func(pass *Pass) {
+		info := pass.Pkg.Info
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(info, bin.X) && !isFloat(info, bin.Y) {
+					return true
+				}
+				if isZeroConst(info, bin.X) || isZeroConst(info, bin.Y) {
+					return true
+				}
+				pass.Report(bin.OpPos, RuleFloatEq,
+					"floating-point %s comparison; use an ordered comparison or an epsilon", bin.Op)
+				return true
+			})
+		}
+	},
+}
+
+// isFloat reports whether e has floating-point (or complex) type.
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isZeroConst reports whether e is a compile-time constant equal to zero.
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// forbiddenImports maps import paths that carry process-global or
+// non-reproducible randomness to the reason they are banned. Importing one
+// of them in a sim-critical package is the violation — there is no
+// deterministic way to use them.
+var forbiddenImports = map[string]string{
+	"math/rand":    "global, seed-order-dependent randomness; use an explicit rng.Source stream",
+	"math/rand/v2": "global, seed-order-dependent randomness; use an explicit rng.Source stream",
+	"crypto/rand":  "non-reproducible entropy; use an explicit rng.Source stream",
+}
+
+// analyzerGlobalRand reports imports of the global randomness packages and
+// calls to os.Getenv in sim-critical packages. Environment reads make a
+// run's behaviour depend on invisible host state, which breaks the
+// replay-from-manifest guarantee exactly like hidden randomness does.
+var analyzerGlobalRand = &Analyzer{
+	Name:            RuleGlobalRand,
+	Doc:             "forbids math/rand, crypto/rand and os.Getenv in sim-critical packages",
+	SimCriticalOnly: true,
+	Run: func(pass *Pass) {
+		for _, file := range pass.Pkg.Files {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if why, ok := forbiddenImports[path]; ok {
+					pass.Report(imp.Pos(), RuleGlobalRand, "import of %s: %s", path, why)
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				name := sel.Sel.Name
+				if name != "Getenv" && name != "LookupEnv" && name != "Environ" {
+					return true
+				}
+				if isPkgFunc(pass.Pkg.Info.Uses[sel.Sel], "os") {
+					pass.Report(call.Pos(), RuleGlobalRand,
+						"os.%s reads host state; sim-critical behaviour must come from explicit configuration", name)
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,164 @@
+// Package lint is a project-specific static-analysis engine enforcing the
+// repository's determinism contract: every stochastic component takes an
+// explicit *rng.Source, no simulation code touches wall-clock time or global
+// randomness, floating-point thresholds are never compared with ==, and
+// nothing writes output while iterating a map. The contract is what makes a
+// whole run bit-reproducible from one uint64 seed; the linter turns it from
+// convention into a build gate (see cmd/ecolint and the "Determinism
+// contract" section of DESIGN.md).
+//
+// The engine is built on the standard library only: go/parser, go/ast,
+// go/types and go/importer. Packages are loaded and type-checked by the
+// loader in load.go; each analyzer (one file per rule) walks the typed ASTs
+// and reports Diagnostics. Findings can be waived, one site at a time, with
+// an explicit annotation carrying a reason:
+//
+//	//ecolint:allow wallclock — telemetry timers measure host time by definition
+//
+// (see directives.go for placement rules).
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Rule names, used both in diagnostics ([rule] tags) and in
+// //ecolint:allow directives.
+const (
+	RuleWallclock      = "wallclock"       // time.Now/Since/Sleep/tickers in sim-critical code
+	RuleGlobalRand     = "globalrand"      // math/rand, crypto/rand, os.Getenv in sim-critical code
+	RuleExplicitSource = "explicit-source" // rng.Source reached through a package-level var
+	RuleFloatEq        = "float-eq"        // == / != between floating-point operands
+	RuleOrderedOutput  = "ordered-output"  // output written while ranging over a map
+	RuleDirective      = "directive"       // malformed //ecolint:allow annotations
+)
+
+// Diagnostic is one finding, renderable as "file:line:col [rule] message".
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the canonical one-line form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d [%s] %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Config scopes the rules. Patterns are matched against package import
+// paths: a pattern either equals the path, or ends in "/..." and matches the
+// named subtree (the prefix itself included).
+type Config struct {
+	// SimCritical lists the packages under the determinism contract, where
+	// the wallclock, globalrand and explicit-source rules apply. float-eq
+	// and ordered-output apply to every loaded package regardless.
+	SimCritical []string
+}
+
+// DefaultConfig returns the repository's scopes: everything under
+// repro/internal is sim-critical (cmd/ and examples/ may time their own
+// wall-clock runs); fixture/... keeps the linter's own testdata in scope so
+// the CLI can be pointed straight at a fixture package.
+func DefaultConfig() Config {
+	return Config{SimCritical: []string{"repro/internal/...", "fixture/..."}}
+}
+
+// matchScope reports whether importPath is covered by any pattern.
+func matchScope(importPath string, patterns []string) bool {
+	for _, p := range patterns {
+		if p == importPath || p == "..." {
+			return true
+		}
+		if prefix, ok := strings.CutSuffix(p, "/..."); ok {
+			if importPath == prefix || strings.HasPrefix(importPath, prefix+"/") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Pass is the per-package view handed to each analyzer.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+	Cfg  Config
+
+	diags *[]Diagnostic
+}
+
+// Report files one diagnostic at pos.
+func (p *Pass) Report(pos token.Pos, rule, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one rule: a name (the [rule] tag and directive key) and a Run
+// function that inspects a typed package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// SimCriticalOnly restricts the analyzer to Config.SimCritical packages.
+	SimCriticalOnly bool
+	Run             func(*Pass)
+}
+
+// Analyzers returns the full rule suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		analyzerWallclock,
+		analyzerGlobalRand,
+		analyzerExplicitSource,
+		analyzerFloatEq,
+		analyzerOrderedOutput,
+	}
+}
+
+// Run loads the packages selected by patterns (see Loader.Load) and applies
+// the rule suite, returning the surviving diagnostics sorted by position.
+// Diagnostics waived by a well-formed //ecolint:allow directive are dropped;
+// malformed directives (unknown rule, missing reason) are themselves
+// reported under the "directive" rule.
+func Run(l *Loader, cfg Config, patterns []string) ([]Diagnostic, error) {
+	pkgs, err := l.Load(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		pass := &Pass{Fset: l.Fset, Pkg: pkg, Cfg: cfg, diags: &diags}
+		for _, a := range Analyzers() {
+			if a.SimCriticalOnly && !matchScope(pkg.Path, cfg.SimCritical) {
+				continue
+			}
+			a.Run(pass)
+		}
+		dirs := collectDirectives(l.Fset, pkg)
+		diags = dirs.filter(diags)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, nil
+}

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const fixtureRoot = "testdata/src/fixture"
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := NewLoader(fixtureRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// expectation is one "// want <rule>" marker: a diagnostic of that rule on
+// that line of that file.
+type expectation struct {
+	file string
+	line int
+	rule string
+}
+
+func (e expectation) String() string { return fmt.Sprintf("%s:%d [%s]", e.file, e.line, e.rule) }
+
+// parseWants reads the markers of every .go file under dir. A marker at the
+// end of a code line expects the diagnostic on that line; a comment-only
+// "// want <rule>" line expects it on the following line.
+func parseWants(t *testing.T, dir string) []expectation {
+	t.Helper()
+	var wants []expectation
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		abs, err := filepath.Abs(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			idx := strings.Index(line, "// want ")
+			if idx < 0 {
+				continue
+			}
+			target := i + 1 // 1-based line of the marker
+			if strings.HasPrefix(strings.TrimSpace(line), "// want ") {
+				target++ // comment-only marker points at the next line
+			}
+			for _, rule := range strings.Fields(line[idx+len("// want "):]) {
+				wants = append(wants, expectation{file: abs, line: target, rule: rule})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+func sortedExpectations(es []expectation) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestFixturesMatchWants lints the whole fixture module and compares the
+// diagnostics against the markers exactly: every marked line must fire and
+// nothing else may (the unmarked lines are the negative cases).
+func TestFixturesMatchWants(t *testing.T) {
+	diags, err := Run(fixtureLoader(t), DefaultConfig(), []string{"fixture/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]expectation, len(diags))
+	for i, d := range diags {
+		got[i] = expectation{file: d.File, line: d.Line, rule: d.Rule}
+	}
+	want := parseWants(t, fixtureRoot)
+	gs, ws := sortedExpectations(got), sortedExpectations(want)
+	if strings.Join(gs, "\n") != strings.Join(ws, "\n") {
+		t.Errorf("diagnostics do not match markers.\n got:\n  %s\nwant:\n  %s",
+			strings.Join(gs, "\n  "), strings.Join(ws, "\n  "))
+		for _, d := range diags {
+			t.Logf("full: %s", d)
+		}
+	}
+}
+
+// TestEachRuleFixture runs the suite against each rule's fixture package in
+// isolation: every package must produce at least one finding of its rule
+// (the positive cases) and, except for the deliberate malformed-directive
+// findings, nothing from any other rule.
+func TestEachRuleFixture(t *testing.T) {
+	cases := []struct {
+		pkg  string
+		rule string
+	}{
+		{"fixture/wallclock", RuleWallclock},
+		{"fixture/globalrand", RuleGlobalRand},
+		{"fixture/explicitsource", RuleExplicitSource},
+		{"fixture/floateq", RuleFloatEq},
+		{"fixture/orderedoutput", RuleOrderedOutput},
+	}
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			diags, err := Run(fixtureLoader(t), DefaultConfig(), []string{tc.pkg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for _, d := range diags {
+				switch d.Rule {
+				case tc.rule:
+					n++
+				case RuleDirective: // directives.go in the wallclock fixture
+				default:
+					t.Errorf("unexpected %s", d)
+				}
+			}
+			if n == 0 {
+				t.Fatalf("no %s findings in %s", tc.rule, tc.pkg)
+			}
+		})
+	}
+}
+
+// TestCleanFixture pins the false-positive rate: the clean package must
+// produce nothing.
+func TestCleanFixture(t *testing.T) {
+	diags, err := Run(fixtureLoader(t), DefaultConfig(), []string{"fixture/clean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("clean fixture flagged: %s", d)
+	}
+}
+
+// TestScopeRestriction verifies the sim-critical scoping: with an empty
+// scope the wallclock fixture produces no wallclock findings, while the
+// unscoped float-eq rule still fires everywhere.
+func TestScopeRestriction(t *testing.T) {
+	cfg := Config{SimCritical: nil}
+	diags, err := Run(fixtureLoader(t), cfg, []string{"fixture/wallclock", "fixture/floateq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFloat := false
+	for _, d := range diags {
+		switch d.Rule {
+		case RuleWallclock:
+			t.Errorf("wallclock fired outside its scope: %s", d)
+		case RuleFloatEq:
+			sawFloat = true
+		}
+	}
+	if !sawFloat {
+		t.Error("float-eq did not fire; it must apply regardless of scope")
+	}
+}
+
+// TestMatchScope covers the pattern matcher directly.
+func TestMatchScope(t *testing.T) {
+	cases := []struct {
+		path string
+		pats []string
+		want bool
+	}{
+		{"repro/internal/sim", []string{"repro/internal/..."}, true},
+		{"repro/internal", []string{"repro/internal/..."}, true},
+		{"repro/cmd/ecosim", []string{"repro/internal/..."}, false},
+		{"fixture/wallclock", []string{"fixture/..."}, true},
+		{"anything", []string{"..."}, true},
+		{"repro/internal/sim", []string{"repro/internal/sim"}, true},
+		{"repro/internal/simx", []string{"repro/internal/sim"}, false},
+		{"repro/internal/sim", nil, false},
+	}
+	for _, tc := range cases {
+		if got := matchScope(tc.path, tc.pats); got != tc.want {
+			t.Errorf("matchScope(%q, %v) = %v, want %v", tc.path, tc.pats, got, tc.want)
+		}
+	}
+}
+
+// TestDirectiveParsing covers the annotation grammar.
+func TestDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		in      string
+		rule    string
+		problem bool
+	}{
+		{" wallclock — telemetry timer", "wallclock", false},
+		{" wallclock -- telemetry timer", "wallclock", false},
+		{" float-eq: bitwise compare", "float-eq", false},
+		{" wallclock", "", true},        // missing reason
+		{" clockwork — nope", "", true}, // unknown rule
+		{"", "", true},
+	}
+	for _, tc := range cases {
+		d, problem := parseDirective(tc.in, token.Position{})
+		if tc.problem != (problem != "") {
+			t.Errorf("parseDirective(%q): problem = %q, want problem=%v", tc.in, problem, tc.problem)
+			continue
+		}
+		if !tc.problem && d.rule != tc.rule {
+			t.Errorf("parseDirective(%q): rule = %q, want %q", tc.in, d.rule, tc.rule)
+		}
+	}
+}
+
+// TestRepositoryIsClean lints the real module with the default
+// configuration: the tree must stay finding-free (annotated waivers aside).
+// This is the in-process version of CI's `go run ./cmd/ecolint ./...` gate.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	l, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(l, DefaultConfig(), []string{"..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

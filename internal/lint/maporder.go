@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// analyzerOrderedOutput reports output written from inside a range over a
+// map. Map iteration order is randomized per run, so any bytes emitted in
+// the loop body — CSV rows, journal lines, report sections — land in a
+// different order every time, silently breaking golden-file comparisons and
+// the byte-identical-journal guarantee. The deterministic idiom is to
+// collect the keys, sort them, and range over the sorted slice; code doing
+// that never triggers this rule because the write happens in a slice loop.
+var analyzerOrderedOutput = &Analyzer{
+	Name: RuleOrderedOutput,
+	Doc:  "forbids writing output while ranging over a map",
+	Run: func(pass *Pass) {
+		info := pass.Pkg.Info
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := info.Types[rng.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				ast.Inspect(rng.Body, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if name, ok := outputCall(info, call); ok {
+						pass.Report(call.Pos(), RuleOrderedOutput,
+							"%s inside a range over a map emits output in randomized order; sort the keys first", name)
+					}
+					return true
+				})
+				return true
+			})
+		}
+	},
+}
+
+// outputCall reports whether call writes output, returning a display name.
+// Covered: the fmt print family, and any method whose name marks it as a
+// writer/encoder (Write*, Print*, Fprint*, Encode, Emit) — which catches
+// csv.Writer, bufio.Writer, json.Encoder, os.File, io.Writer and the obs
+// journal without enumerating them.
+func outputCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if isPkgFunc(info.Uses[sel.Sel], "fmt") {
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	if selection := info.Selections[sel]; selection != nil && selection.Kind() == types.MethodVal {
+		if strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "Print") ||
+			strings.HasPrefix(name, "Fprint") || name == "Encode" || name == "Emit" {
+			return "(" + selection.Recv().String() + ")." + name, true
+		}
+	}
+	// Interface method calls (e.g. io.Writer.Write through a parameter) are
+	// method selections too, handled above; package functions from other
+	// packages are not output sinks we recognize.
+	return "", false
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// analyzerExplicitSource enforces the explicit-source rule in sim-critical
+// packages: randomness must be handed to the code that draws from it — as a
+// parameter or a receiver field — never reached through a package-level
+// variable. Two checks:
+//
+//  1. declaring a package-level var whose type contains rng.Source is
+//     reported at the declaration (the var itself is the hidden channel);
+//  2. an exported function whose body calls a Source method on a value
+//     rooted in a package-level var (of this or any other package) is
+//     reported at the call.
+//
+// A "Source" type is any named type called Source declared in a package
+// whose import path is "rng" or ends in "/rng" — the repository's
+// deterministic generator and the lint fixtures' stand-in both match.
+var analyzerExplicitSource = &Analyzer{
+	Name:            RuleExplicitSource,
+	Doc:             "requires rng.Source values to arrive as parameters or receiver fields, not package-level vars",
+	SimCriticalOnly: true,
+	Run: func(pass *Pass) {
+		info := pass.Pkg.Info
+		// Check 1: package-level vars holding a Source.
+		scope := pass.Pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			v, ok := scope.Lookup(name).(*types.Var)
+			if !ok {
+				continue
+			}
+			if typeHoldsSource(v.Type(), map[types.Type]bool{}) {
+				pass.Report(v.Pos(), RuleExplicitSource,
+					"package-level var %s holds an rng.Source; pass sources explicitly instead", name)
+			}
+		}
+		// Check 2: exported functions drawing from a package-level var.
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !fn.Name.IsExported() {
+					continue
+				}
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					selection := info.Selections[sel]
+					if selection == nil || selection.Kind() != types.MethodVal {
+						return true
+					}
+					if !isSourceType(selection.Recv()) {
+						return true
+					}
+					if v := rootVar(info, sel.X); v != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+						pass.Report(call.Pos(), RuleExplicitSource,
+							"%s draws from package-level var %s; exported functions must receive their rng.Source explicitly",
+							fn.Name.Name, v.Name())
+					}
+					return true
+				})
+			}
+		}
+	},
+}
+
+// isSourceType reports whether t (possibly behind pointers) is a named type
+// Source from an rng package.
+func isSourceType(t types.Type) bool {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Name() != "Source" {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "rng" || strings.HasSuffix(path, "/rng")
+}
+
+// typeHoldsSource reports whether t is, points to, or (transitively through
+// struct fields and element types) contains an rng Source.
+func typeHoldsSource(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isSourceType(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return typeHoldsSource(u.Elem(), seen)
+	case *types.Slice:
+		return typeHoldsSource(u.Elem(), seen)
+	case *types.Array:
+		return typeHoldsSource(u.Elem(), seen)
+	case *types.Map:
+		return typeHoldsSource(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeHoldsSource(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// rootVar walks a selector/index chain to its base identifier and returns
+// the variable it denotes, or nil (calls and composite literals produce
+// fresh values and terminate the walk).
+func rootVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[x].(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			// A qualified identifier (pkg.Var) bottoms out at the selected
+			// object itself.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					v, _ := info.Uses[x.Sel].(*types.Var)
+					return v
+				}
+			}
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,32 @@
+// Package clean passes every rule: explicit sources, virtual time, ordered
+// comparisons, sorted output. It pins down the suite's false-positive rate.
+package clean
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"fixture/rng"
+)
+
+// Step draws from an explicit stream and advances virtual time.
+func Step(src *rng.Source, now time.Duration) time.Duration {
+	if src.Float64() >= 0.5 {
+		return now + time.Minute
+	}
+	return now + 30*time.Second
+}
+
+// Dump writes map contents deterministically.
+func Dump(w io.Writer, cells map[string]float64) {
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s,%g\n", k, cells[k])
+	}
+}

@@ -1,0 +1,40 @@
+// Package explicitsource exercises the explicit-source rule: rng.Source
+// values must arrive as parameters or receiver fields, never through a
+// package-level variable.
+package explicitsource
+
+import "fixture/rng"
+
+// globalSrc is the hidden channel the rule forbids.
+var globalSrc = rng.New(1) // want explicit-source
+
+// state hides a source inside a package-level struct var.
+var state = struct { // want explicit-source
+	src *rng.Source
+	n   int
+}{src: rng.New(2)}
+
+// Draw is exported and draws from the package-level var.
+func Draw() float64 {
+	return globalSrc.Float64() // want explicit-source
+}
+
+// DrawNested reaches a source through a package-level struct var.
+func DrawNested() float64 {
+	return state.src.Float64() // want explicit-source
+}
+
+// Good receives its source explicitly.
+func Good(src *rng.Source) float64 { return src.Float64() }
+
+type sampler struct{ src *rng.Source }
+
+// Sample draws from a receiver field: the source was injected at
+// construction, so the caller controls the stream.
+func (s *sampler) Sample() float64 { return s.src.Float64() }
+
+// NewSampler shows the injection pattern the rule wants.
+func NewSampler(src *rng.Source) *sampler { return &sampler{src: src} }
+
+// Fresh constructs and uses a local source: reproducible, allowed.
+func Fresh(seed uint64) float64 { return rng.New(seed).Float64() }

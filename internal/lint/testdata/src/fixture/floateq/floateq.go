@@ -1,0 +1,34 @@
+// Package floateq exercises the float-eq rule: exact equality between
+// floating-point operands.
+package floateq
+
+// Threshold is the classic Eq. 1 bug: utilization arithmetic is inexact, so
+// the trial that should trip exactly at Ta never does.
+func Threshold(u, ta float64) bool {
+	return u == ta // want float-eq
+}
+
+// NotEqual is just as wrong in the other direction.
+func NotEqual(a, b float32) bool {
+	return a != b // want float-eq
+}
+
+// Literal comparisons against non-zero constants are still inexact.
+func Literal(xs []float64) bool {
+	return xs[0] == 0.5 // want float-eq
+}
+
+// ZeroSentinel is the allowed idiom: 0 is exactly representable and means
+// "dimension not modeled / series empty" throughout the repository.
+func ZeroSentinel(ramMB float64) bool { return ramMB == 0 }
+
+// Ordered comparisons are how thresholds should be written.
+func Ordered(u, ta float64) bool { return u >= ta }
+
+// Ints compares integers: exact by construction.
+func Ints(a, b int) bool { return a == b }
+
+// Annotated documents a deliberate bitwise comparison.
+func Annotated(a, b float64) bool {
+	return a == b //ecolint:allow float-eq — fixture: bitwise equality intended
+}

@@ -1,0 +1,29 @@
+// Package globalrand exercises the globalrand rule: process-global
+// randomness and hidden host state in sim-critical code.
+package globalrand
+
+import (
+	crand "crypto/rand" // want globalrand
+	"math/rand"         // want globalrand
+	"os"
+
+	"fixture/rng"
+)
+
+// Bad draws from the global generator (the import is the finding).
+func Bad() float64 { return rand.Float64() }
+
+// BadEntropy reads OS entropy (the import is the finding).
+func BadEntropy() byte {
+	var b [1]byte
+	_, _ = crand.Read(b[:])
+	return b[0]
+}
+
+// BadEnv makes behaviour depend on invisible host state.
+func BadEnv() string {
+	return os.Getenv("ECO_SEED") // want globalrand
+}
+
+// Good draws from an explicit deterministic stream.
+func Good(src *rng.Source) float64 { return src.Float64() }

@@ -1,0 +1,6 @@
+// Mini-module for the ecolint fixtures. The go tool ignores testdata
+// directories, so this module is only ever loaded by internal/lint's own
+// loader (and by pointing cmd/ecolint at a fixture package directly).
+module fixture
+
+go 1.22

@@ -1,0 +1,64 @@
+// Package orderedoutput exercises the ordered-output rule: emitting bytes
+// while ranging over a map, whose iteration order changes every run.
+package orderedoutput
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// Bad prints rows straight out of a map range.
+func Bad(rows map[string]float64) {
+	for k, v := range rows {
+		fmt.Printf("%s,%g\n", k, v) // want ordered-output
+	}
+}
+
+// BadFprint writes through an io sink from a map range.
+func BadFprint(w *os.File, rows map[int]string) {
+	for id, name := range rows {
+		fmt.Fprintln(w, id, name) // want ordered-output
+	}
+}
+
+// BadCSV emits CSV records in randomized order.
+func BadCSV(w *csv.Writer, rows map[string]int) {
+	for k, v := range rows {
+		_ = w.Write([]string{k, strconv.Itoa(v)}) // want ordered-output
+	}
+}
+
+type sink struct{}
+
+func (sink) WriteRow(k string) {}
+
+// BadMethod triggers on any writer-shaped method, not just the stdlib's.
+func BadMethod(rows map[string]int) {
+	var s sink
+	for k := range rows {
+		s.WriteRow(k) // want ordered-output
+	}
+}
+
+// Good is the deterministic idiom: collect, sort, then write from the
+// sorted slice — the write no longer sits inside a map range.
+func Good(rows map[string]float64) {
+	keys := make([]string, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s,%g\n", k, rows[k])
+	}
+}
+
+// GoodCopy ranges over a map without emitting anything.
+func GoodCopy(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}

@@ -1,0 +1,24 @@
+// Package rng is a stand-in for the repository's deterministic generator:
+// the explicit-source analyzer recognizes any named type Source declared in
+// a package whose import path ends in "rng", so the fixtures can exercise
+// the rule without importing the real module.
+package rng
+
+// Source is a toy deterministic generator.
+type Source struct {
+	state uint64
+}
+
+// New returns a Source seeded from seed.
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Uint64 returns the next value.
+func (s *Source) Uint64() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return s.state
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}

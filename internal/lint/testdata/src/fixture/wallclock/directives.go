@@ -1,0 +1,19 @@
+package wallclock
+
+import "time"
+
+// Malformed directives are findings themselves: a waiver must name a known
+// rule and give a reason.
+
+// want directive
+//ecolint:allow wallclock
+
+// want directive
+//ecolint:allow clockwork — no such rule
+
+// MissingReason shows that a reasonless directive suppresses nothing.
+func MissingReason() time.Time {
+	// want directive
+	//ecolint:allow wallclock
+	return time.Now() // want wallclock
+}

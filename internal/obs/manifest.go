@@ -45,14 +45,14 @@ func NewManifest(experiment string, config any, seed uint64) *Manifest {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
-		Start:      time.Now(),
+		Start:      time.Now(), //ecolint:allow wallclock — manifest records real run provenance, not simulation state
 	}
 }
 
 // Finish stamps the end time, computes wall/CPU time and the peak heap, and
 // folds in the recorder's final snapshot (r may be nil).
 func (m *Manifest) Finish(r *Recorder) {
-	m.End = time.Now()
+	m.End = time.Now() //ecolint:allow wallclock — manifest records real run provenance, not simulation state
 	m.WallSeconds = m.End.Sub(m.Start).Seconds()
 	m.CPUUserSeconds, m.CPUSysSeconds = cpuTimes()
 

@@ -11,6 +11,8 @@ import (
 // w until the returned stop function is called. stop is idempotent, blocks
 // until the goroutine exits, and writes one final line so short runs still
 // report. line typically reads atomic gauges/counters the run updates.
+//
+//ecolint:allow wallclock — the progress heartbeat is for the operator's wall clock; runs are identical with it disabled
 func StartProgress(w io.Writer, interval time.Duration, line func() string) (stop func()) {
 	if interval <= 0 {
 		interval = 2 * time.Second

@@ -68,6 +68,27 @@ func (r *Recorder) Observe(name string, d time.Duration) {
 	r.reg.Timer(name).Observe(d)
 }
 
+// noopStop is the shared stop function StartTimer hands out when telemetry
+// is off, so disabled hot paths never allocate a closure.
+var noopStop = func() {}
+
+// StartTimer starts a host-clock measurement of the named timer and returns
+// the function that stops it and records the elapsed duration. It is the one
+// sanctioned wall-clock read in instrumented code: callers measure handler
+// cost without touching the clock themselves, which keeps simulation
+// packages free of time.Now under the determinism contract.
+//
+//ecolint:allow wallclock — telemetry measures real handler cost; it never feeds back into simulation state
+func (r *Recorder) StartTimer(name string) (stop func()) {
+	if r == nil {
+		return noopStop
+	}
+	start := time.Now()
+	return func() {
+		r.reg.Timer(name).Observe(time.Since(start))
+	}
+}
+
 // Emit writes one event to the journal, if one is attached. simTime is the
 // virtual timestamp; fields holds event-specific key/values (may be nil).
 func (r *Recorder) Emit(simTime time.Duration, kind string, fields map[string]any) {

@@ -513,6 +513,7 @@ func (c *Cluster) serverAccepts(s *dc.Server, now time.Duration, demand, ta floa
 		return true
 	}
 	fa := c.fa
+	//ecolint:allow float-eq — Ta is copied verbatim from the config, so exact inequality means a real override
 	if ta != c.fa.Ta {
 		tightened, err := c.fa.WithThreshold(ta)
 		if err != nil {

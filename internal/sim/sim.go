@@ -38,8 +38,8 @@ func (q eventQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
 func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)
@@ -149,9 +149,9 @@ func (e *Engine) Run(horizon time.Duration) {
 		}
 		e.rec.GaugeMax("sim.queue_depth_max", int64(len(e.queue)+1))
 		e.rec.Gauge("sim.now_ns", int64(e.now))
-		start := time.Now()
+		stop := e.rec.StartTimer("sim.handler." + next.name)
 		next.fn(e)
-		e.rec.Observe("sim.handler."+next.name, time.Since(start))
+		stop()
 		e.rec.Count("sim.events", 1)
 	}
 	if horizon > 0 && e.now < horizon && !e.stopped {

@@ -111,10 +111,10 @@ func LineChart(title, xLabel string, x []float64, series []Series) string {
 	if ymin > 0 && ymin < 0.3*ymax {
 		ymin = 0 // anchor near-zero baselines
 	}
-	if xmax == xmin {
+	if xmax <= xmin { // degenerate range: every sample equal
 		xmax = xmin + 1
 	}
-	if ymax == ymin {
+	if ymax <= ymin {
 		ymax = ymin + 1
 	}
 	px := func(v float64) float64 {
@@ -171,7 +171,7 @@ func Bars(title, xLabel string, centers, freqs []float64) string {
 	if ymax == 0 {
 		ymax = 1
 	}
-	if xmax == xmin {
+	if xmax <= xmin { // degenerate range: every sample equal
 		xmax = xmin + 1
 	}
 	// widen by half a bin on each side

@@ -111,6 +111,7 @@ func ConcatDays(days ...*Set) (*Set, error) {
 	ref := days[0].RefCapacityMHz
 	maxVMs := 0
 	for i, d := range days {
+		//ecolint:allow float-eq — days must share a bit-identical reference capacity to be concatenated
 		if d.RefCapacityMHz != ref {
 			return nil, fmt.Errorf("trace: day %d reference capacity %v != %v", i, d.RefCapacityMHz, ref)
 		}
