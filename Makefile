@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test bench figures race cover clean
+.PHONY: all build vet lint test bench bench-scale figures race cover clean
 
 all: build vet lint test
 
@@ -28,6 +28,11 @@ cover:
 # One benchmark per paper figure plus the ablations (see bench_test.go).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Demand-kernel scalability sweep (400 -> 4,000 servers, cached vs naive);
+# writes out/BENCH_demand_kernel.json and verifies the runs are bit-identical.
+bench-scale:
+	$(GO) run ./cmd/ecobench -demand-bench -out out
 
 # Regenerate every figure CSV at paper scale into ./out, alongside the run
 # manifest (out/run.json) and the JSONL event journal (out/journal.jsonl).

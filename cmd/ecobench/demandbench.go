@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dc"
+	"repro/internal/ecocloud"
+	"repro/internal/trace"
+)
+
+// The demand-kernel scalability study is deliberately outside the experiment
+// registry: it measures the simulator, not the paper. Each fleet size runs
+// the same ecoCloud scenario twice — demand kernel on, then off — checks that
+// the two runs are bit-identical (the kernel's contract), and records the
+// wall-clock ratio. Results land in BENCH_demand_kernel.json under -out.
+//
+// Wall-clock timing is inherently nondeterministic; that is fine here because
+// the timings are reporting-only and never feed back into simulation state.
+
+// demandBenchSizes is the 400 -> 4,000 server sweep from the issue. The
+// VM count scales with the fleet (15 VMs per server, the paper's ratio).
+var demandBenchSizes = []int{400, 1000, 2000, 4000}
+
+type demandBenchRow struct {
+	Servers       int     `json:"servers"`
+	VMs           int     `json:"vms"`
+	HorizonHours  float64 `json:"horizon_hours"`
+	NaiveSeconds  float64 `json:"naive_s"`
+	CachedSeconds float64 `json:"cached_s"`
+	Speedup       float64 `json:"speedup"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheInvals   uint64  `json:"cache_invalidations"`
+	HitRate       float64 `json:"hit_rate"`
+	EnergyKWh     float64 `json:"energy_kwh"`
+}
+
+type demandBenchReport struct {
+	Seed    uint64           `json:"seed"`
+	Results []demandBenchRow `json:"results"`
+}
+
+func demandBenchConfig(servers int, seed uint64, disable bool) (cluster.RunConfig, cluster.Policy, error) {
+	gen := trace.DefaultGenConfig()
+	gen.NumVMs = 15 * servers
+	gen.Horizon = time.Hour
+	ws, err := trace.Generate(gen, seed)
+	if err != nil {
+		return cluster.RunConfig{}, nil, err
+	}
+	pol, err := ecocloud.New(ecocloud.DefaultConfig(), 2)
+	if err != nil {
+		return cluster.RunConfig{}, nil, err
+	}
+	return cluster.RunConfig{
+		Specs:              dc.StandardFleet(servers),
+		Workload:           ws,
+		Horizon:            gen.Horizon,
+		ControlInterval:    5 * time.Minute,
+		SampleInterval:     30 * time.Minute,
+		PowerModel:         dc.DefaultPowerModel(),
+		DisableDemandCache: disable,
+	}, pol, nil
+}
+
+func runDemandBench(outDir string, seed uint64) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	report := demandBenchReport{Seed: seed}
+	for _, servers := range demandBenchSizes {
+		var timings [2]float64 // cached, naive
+		var results [2]*cluster.Result
+		for i, disable := range []bool{false, true} {
+			cfg, pol, err := demandBenchConfig(servers, seed, disable)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			res, err := cluster.Run(cfg, pol)
+			if err != nil {
+				return err
+			}
+			timings[i] = time.Since(start).Seconds()
+			results[i] = res
+		}
+		if err := demandBenchIdentical(results[0], results[1]); err != nil {
+			return fmt.Errorf("demand-bench: %d servers: cached and naive runs diverge: %w", servers, err)
+		}
+		cache := results[0].DemandCache
+		row := demandBenchRow{
+			Servers:       servers,
+			VMs:           15 * servers,
+			HorizonHours:  time.Hour.Hours(),
+			NaiveSeconds:  timings[1],
+			CachedSeconds: timings[0],
+			Speedup:       timings[1] / timings[0],
+			CacheHits:     cache.Hits,
+			CacheMisses:   cache.Misses,
+			CacheInvals:   cache.Invalidations,
+			EnergyKWh:     results[0].EnergyKWh,
+		}
+		if total := cache.Hits + cache.Misses; total > 0 {
+			row.HitRate = float64(cache.Hits) / float64(total)
+		}
+		report.Results = append(report.Results, row)
+		fmt.Printf("== demand-bench %4d servers: naive %.3fs cached %.3fs speedup %.2fx hit-rate %.4f\n",
+			servers, row.NaiveSeconds, row.CachedSeconds, row.Speedup, row.HitRate)
+	}
+	path := filepath.Join(outDir, "BENCH_demand_kernel.json")
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// demandBenchIdentical spot-checks the kernel's bit-identity contract on the
+// run aggregates: every simulation decision flows through DemandAt, so any
+// cached-vs-naive divergence surfaces in these totals.
+func demandBenchIdentical(cached, naive *cluster.Result) error {
+	//ecolint:allow float-eq — the demand kernel's contract is bit-identity, so the aggregates must match exactly
+	if cached.EnergyKWh != naive.EnergyKWh {
+		return fmt.Errorf("EnergyKWh %v != %v", cached.EnergyKWh, naive.EnergyKWh)
+	}
+	//ecolint:allow float-eq — same contract as above
+	if cached.MeanActiveServers != naive.MeanActiveServers {
+		return fmt.Errorf("MeanActiveServers %v != %v", cached.MeanActiveServers, naive.MeanActiveServers)
+	}
+	//ecolint:allow float-eq — same contract as above
+	if cached.VMOverloadTimeFrac != naive.VMOverloadTimeFrac {
+		return fmt.Errorf("VMOverloadTimeFrac %v != %v", cached.VMOverloadTimeFrac, naive.VMOverloadTimeFrac)
+	}
+	if cached.TotalLowMigrations != naive.TotalLowMigrations ||
+		cached.TotalHighMigrations != naive.TotalHighMigrations {
+		return fmt.Errorf("migrations (%d,%d) != (%d,%d)",
+			cached.TotalLowMigrations, cached.TotalHighMigrations,
+			naive.TotalLowMigrations, naive.TotalHighMigrations)
+	}
+	if cached.TotalActivations != naive.TotalActivations ||
+		cached.TotalHibernations != naive.TotalHibernations {
+		return fmt.Errorf("activations/hibernations (%d,%d) != (%d,%d)",
+			cached.TotalActivations, cached.TotalHibernations,
+			naive.TotalActivations, naive.TotalHibernations)
+	}
+	return nil
+}

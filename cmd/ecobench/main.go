@@ -40,17 +40,40 @@ func main() {
 		list      = flag.Bool("list", false, "list the registered experiments and exit")
 		markdown  = flag.String("markdown", "", "also assemble all figures into one Markdown report at this path")
 		htmlPath  = flag.String("html", "", "also assemble all figures into one self-contained HTML report (inline SVG charts)")
+		demandB   = flag.Bool("demand-bench", false, "run the demand-kernel scalability benchmark (400->4,000 servers) and write BENCH_demand_kernel.json, then exit")
 	)
 	fs := flag.CommandLine
 	fs.Uint64Var(&rc.Seed, "seed", rc.Seed, "master seed")
-	fs.DurationVar(&rc.Horizon, "horizon", rc.Horizon, "daily-run and comparison horizon")
+	fs.DurationVar(&rc.Horizon, "horizon", rc.Horizon, "horizon override (unset: each experiment's own default)")
 	cli.BindEco(fs, &eco)
 	obsFlags.Bind(fs)
 	flag.Parse()
 
+	// The registry overlays every non-zero Config field onto each
+	// experiment's defaults, so forwarding the 48 h display default would
+	// silently stretch the 18/24 h experiments (assignonly, protocolday,
+	// sensitivity, multiresource) to 48 h. Only forward -horizon when the
+	// user actually set it.
+	horizonSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "horizon" {
+			horizonSet = true
+		}
+	})
+	if !horizonSet {
+		rc.Horizon = 0
+	}
+
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-14s %s\n", e.Name, e.Description)
+		}
+		return
+	}
+	if *demandB {
+		if err := runDemandBench(*outDir, rc.Seed); err != nil {
+			fmt.Fprintln(os.Stderr, "ecobench:", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -52,14 +52,24 @@ type RunConfig struct {
 	// EventLog, when set, receives one JSON line per data-center mutation:
 	// {"t_ns":..., "kind":"place|remove|migrate|activate|hibernate",
 	//  "vm":..., "server":..., "dest":...}. Useful for debugging policies
-	// and for external analysis; adds encoding cost per event.
+	// and for external analysis; adds encoding cost per event. Setup
+	// mutations (the SpreadRoundRobin pre-placement) are not journaled:
+	// the log reflects policy behaviour only, matching the counters.
 	EventLog io.Writer
+
+	// DisableDemandCache turns off the incremental demand kernel, forcing
+	// every Server.DemandAt back to the naive per-VM recomputation. Results
+	// are bit-identical either way (that is the kernel's contract); the
+	// switch exists for the differential tests and the naive-vs-cached
+	// scalability benchmarks.
+	DisableDemandCache bool
 
 	// Obs, when set, receives run telemetry: engine metrics (events, queue
 	// depth, handler wall time), cluster counters (assignments, removals,
 	// migrations by kind, activations, hibernations, overload ticks), live
 	// gauges (sim time, active servers), and — when the recorder carries a
-	// journal — one JSONL event per data-center mutation. Nil (the default)
+	// journal — one JSONL event per policy-driven data-center mutation
+	// (setup pre-placement is excluded, like EventLog). Nil (the default)
 	// costs the run nothing.
 	Obs *obs.Recorder
 }
@@ -133,6 +143,9 @@ type Result struct {
 	// SwitchEnergyKWh is the transition-energy share already included in
 	// EnergyKWh (nonzero only when the power model prices switches).
 	SwitchEnergyKWh float64
+	// DemandCache reports the demand kernel's hit/miss/invalidation traffic
+	// for the run (all zero when DisableDemandCache was set).
+	DemandCache dc.DemandCacheStats
 }
 
 // journalLine is the EventLog wire format.
@@ -179,31 +192,14 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if err := cfg.Workload.Validate(); err != nil {
+		return nil, err
+	}
 	d := dc.New(cfg.Specs)
+	d.SetDemandCache(!cfg.DisableDemandCache)
 	rec := NewRecorder(cfg.SampleInterval)
 	eng := sim.New()
 	eng.SetRecorder(cfg.Obs)
-
-	var enc *json.Encoder
-	if cfg.EventLog != nil {
-		enc = json.NewEncoder(cfg.EventLog)
-	}
-	if enc != nil || cfg.Obs.Enabled() {
-		d.SetJournal(func(e dc.Event) {
-			if enc != nil {
-				// Encoding errors must not corrupt the simulation; the
-				// journal is best-effort observability.
-				_ = enc.Encode(journalLine{
-					TNS:    int64(eng.Now()),
-					Kind:   string(e.Kind),
-					VM:     e.VM,
-					Server: e.Server,
-					Dest:   e.Dest,
-				})
-			}
-			observeDCEvent(cfg.Obs, eng.Now(), e)
-		})
-	}
 
 	res := &Result{
 		Policy:                policy.Name(),
@@ -252,6 +248,31 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 			preplaced[vm.ID] = true
 			i++
 		}
+	}
+
+	// The journal goes in only after initial placement: setup mutations are
+	// scenario construction, not policy behaviour, and counting them used to
+	// inflate cluster.assignments / cluster.wakeups and pollute the JSONL
+	// journal on SpreadRoundRobin runs even though d.Activations was reset.
+	var enc *json.Encoder
+	if cfg.EventLog != nil {
+		enc = json.NewEncoder(cfg.EventLog)
+	}
+	if enc != nil || cfg.Obs.Enabled() {
+		d.SetJournal(func(e dc.Event) {
+			if enc != nil {
+				// Encoding errors must not corrupt the simulation; the
+				// journal is best-effort observability.
+				_ = enc.Encode(journalLine{
+					TNS:    int64(eng.Now()),
+					Kind:   string(e.Kind),
+					VM:     e.VM,
+					Server: e.Server,
+					Dest:   e.Dest,
+				})
+			}
+			observeDCEvent(cfg.Obs, eng.Now(), e)
+		})
 	}
 
 	// Arrival and departure events.
@@ -320,8 +341,18 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 		}
 		activeTickSum += float64(d.ActiveCount())
 		controlTicks++
-		// Energy: integrate draw over the next interval (left Riemann sum).
-		res.EnergyKWh += d.PowerAt(now, cfg.PowerModel) * cfg.ControlInterval.Hours() / 1000
+		// Energy: integrate draw over the next interval (left Riemann sum),
+		// clamped so the run integrates exactly [0, Horizon): the tick at
+		// t == Horizon contributes nothing, and a final partial interval
+		// (horizon not a multiple of ControlInterval) is cut at the horizon
+		// instead of over-integrating a full slice.
+		slice := cfg.ControlInterval
+		if rem := cfg.Horizon - now; rem < slice {
+			slice = rem
+		}
+		if slice > 0 {
+			res.EnergyKWh += d.PowerAt(now, cfg.PowerModel) * slice.Hours() / 1000
+		}
 		if cfg.Obs.Enabled() {
 			cfg.Obs.Gauge("cluster.active_servers", int64(d.ActiveCount()))
 			cfg.Obs.Gauge("cluster.vms_placed", int64(d.NumPlaced()))
@@ -378,6 +409,12 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 	res.MeanConcurrentMigrations = rec.MeanConcurrentMigrations()
 	res.SwitchEnergyKWh = cfg.PowerModel.SwitchEnergyKWh(d.Activations + d.Hibernations)
 	res.EnergyKWh += res.SwitchEnergyKWh
+	res.DemandCache = d.DemandCacheStats()
+	if cfg.Obs.Enabled() {
+		cfg.Obs.Count("dc.demand_cache.hits", int64(res.DemandCache.Hits))
+		cfg.Obs.Count("dc.demand_cache.misses", int64(res.DemandCache.Misses))
+		cfg.Obs.Count("dc.demand_cache.invalidations", int64(res.DemandCache.Invalidations))
+	}
 	if controlTicks > 0 {
 		res.MeanActiveServers = activeTickSum / controlTicks
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dc"
 	"repro/internal/ecocloud"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -205,6 +206,130 @@ func TestRunSpreadRoundRobin(t *testing.T) {
 	// Setup activations are not counted as policy switches.
 	if res.TotalActivations != 0 {
 		t.Fatalf("setup activations leaked into the count: %d", res.TotalActivations)
+	}
+}
+
+// Energy must integrate the power draw over exactly [0, Horizon). One
+// 12 GHz server at a constant 6 GHz demand (u = 0.5) under a 1 kW peak /
+// 0.5 idle-fraction model draws 750 W, so any 1-hour horizon must read
+// 0.75 kWh — however the control cadence divides it.
+func TestRunEnergyIntegratesExactHorizon(t *testing.T) {
+	cases := []struct {
+		name    string
+		control time.Duration
+	}{
+		{"horizon-multiple-of-interval", 15 * time.Minute}, // ticks 0,15,30,45 (+60 contributes 0)
+		{"horizon-not-multiple", 25 * time.Minute},         // ticks 0,25,50: slices 25+25+10
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ws := &trace.Set{RefCapacityMHz: 8000, VMs: []*trace.VM{constVM(0, 6000, 0, 2*time.Hour)}}
+			res, err := cluster.Run(cluster.RunConfig{
+				Specs:           dc.UniformFleet(1, 6, 2000),
+				Workload:        ws,
+				Horizon:         time.Hour,
+				ControlInterval: c.control,
+				SampleInterval:  30 * time.Minute,
+				PowerModel:      dc.PowerModel{PeakW: 1000, IdleFraction: 0.5},
+			}, &stuffer{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const want = 0.75 // 750 W for one hour
+			if diff := res.EnergyKWh - want; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("EnergyKWh = %v, want %v (off by %v)", res.EnergyKWh, want, diff)
+			}
+		})
+	}
+}
+
+// SpreadRoundRobin setup (activating the whole fleet and pre-placing the
+// t=0 VMs) is scenario construction, not policy behaviour: the telemetry
+// counters and the JSONL journal must not see it.
+func TestRunSpreadRoundRobinTelemetryClean(t *testing.T) {
+	vms := make([]*trace.VM, 8)
+	for i := range vms {
+		vms[i] = constVM(i, 1000, 0, 3*time.Hour)
+	}
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: vms}
+	var jbuf, ebuf bytes.Buffer
+	cfg := baseConfig(ws)
+	cfg.Initial = cluster.SpreadRoundRobin
+	cfg.Obs = obs.NewRecorder(nil, obs.NewJournal(&jbuf))
+	cfg.EventLog = &ebuf
+	if _, err := cluster.Run(cfg, &stuffer{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := cfg.Obs.Snapshot()
+	for _, name := range []string{"cluster.assignments", "cluster.wakeups"} {
+		if n := snap.Counters[name]; n != 0 {
+			t.Errorf("%s = %d after setup-only run, want 0", name, n)
+		}
+	}
+	// The stuffer policy performs no mutations, so both journals stay empty.
+	if jbuf.Len() != 0 {
+		t.Errorf("obs journal has %d bytes of setup events", jbuf.Len())
+	}
+	if ebuf.Len() != 0 {
+		t.Errorf("event log has %d bytes of setup events", ebuf.Len())
+	}
+}
+
+// A malformed workload (multi-sample VM with a zero epoch) must be rejected
+// up front instead of dividing by zero mid-run.
+func TestRunRejectsInvalidWorkload(t *testing.T) {
+	bad := &trace.VM{ID: 0, End: time.Hour, Epoch: 0, Demand: []float64{100, 200}}
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: []*trace.VM{bad}}
+	if _, err := cluster.Run(baseConfig(ws), &stuffer{}); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+// The demand kernel must be invisible in the results: a naive-path run is
+// bit-identical to the cached run, and cache stats appear only on the
+// cached one.
+func TestRunDemandCacheDifferential(t *testing.T) {
+	gcfg := trace.DefaultGenConfig()
+	gcfg.NumVMs = 80
+	gcfg.Horizon = 4 * time.Hour
+	ws, err := trace.Generate(gcfg, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(disable bool) *cluster.Result {
+		pol, err := ecocloud.New(ecocloud.DefaultConfig(), 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := cluster.RunConfig{
+			Specs:              dc.StandardFleet(10),
+			Workload:           ws,
+			Horizon:            4 * time.Hour,
+			ControlInterval:    5 * time.Minute,
+			SampleInterval:     30 * time.Minute,
+			PowerModel:         dc.DefaultPowerModel(),
+			DisableDemandCache: disable,
+		}
+		res, err := cluster.Run(cfg, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cached, naive := run(false), run(true)
+	if cached.EnergyKWh != naive.EnergyKWh ||
+		cached.MeanActiveServers != naive.MeanActiveServers ||
+		cached.TotalLowMigrations != naive.TotalLowMigrations ||
+		cached.TotalHighMigrations != naive.TotalHighMigrations ||
+		cached.TotalActivations != naive.TotalActivations ||
+		cached.VMOverloadTimeFrac != naive.VMOverloadTimeFrac {
+		t.Fatalf("cached and naive runs diverged:\ncached %+v\nnaive  %+v", cached, naive)
+	}
+	if cached.DemandCache.Hits == 0 {
+		t.Fatal("cached run recorded no cache hits")
+	}
+	if naive.DemandCache.Hits != 0 || naive.DemandCache.Misses != 0 {
+		t.Fatalf("naive run recorded cache traffic: %+v", naive.DemandCache)
 	}
 }
 

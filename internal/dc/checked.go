@@ -54,6 +54,12 @@ func (d *DataCenter) CheckRuntime(now time.Duration) error {
 		if s.state == Hibernated && demand > 0 {
 			return fmt.Errorf("dc: hibernated server %d carries demand %v at %v", s.ID, demand, now)
 		}
+		// The demand kernel promises bit-identity with the naive summation
+		// just performed, so this comparison is exact, not tolerance-based.
+		//ecolint:allow float-eq — the kernel's contract IS bit-identity; any tolerance would mask the bug this check exists to catch
+		if got := s.DemandAt(now); got != demand {
+			return fmt.Errorf("dc: server %d cached demand %v disagrees with recomputation %v at %v", s.ID, got, demand, now)
+		}
 		want := demand - s.CapacityMHz()
 		if want < 0 {
 			want = 0

@@ -124,6 +124,10 @@ type Server struct {
 	// Active; the assignment procedure's 30-minute grace period (§IV) keys
 	// off it.
 	ActivatedAt time.Duration
+
+	// kernel caches the aggregate demand for the current trace epoch (see
+	// demandkernel.go). Mutated on reads: see the concurrency note there.
+	kernel demandKernel
 }
 
 // State returns the server's power state.
@@ -156,6 +160,7 @@ func (s *Server) insert(vm *trace.VM) {
 	copy(s.vms[i+1:], s.vms[i:])
 	s.vms[i] = vm
 	s.usedRAMMB += vm.RAMMB
+	s.kernel.insertCursor(i, vm)
 }
 
 // removeAt deletes the VM at index i.
@@ -164,6 +169,7 @@ func (s *Server) removeAt(i int) {
 	copy(s.vms[i:], s.vms[i+1:])
 	s.vms[len(s.vms)-1] = nil
 	s.vms = s.vms[:len(s.vms)-1]
+	s.kernel.removeCursor(i)
 }
 
 // UsedRAMMB returns the summed memory footprint of hosted VMs.
@@ -182,13 +188,11 @@ func (s *Server) RAMUtilization() float64 {
 func (s *Server) CapacityMHz() float64 { return s.Spec.CapacityMHz() }
 
 // DemandAt returns the total CPU demand (MHz) of hosted VMs at time t. It
-// can exceed capacity: that is an over-demand (overload) condition.
+// can exceed capacity: that is an over-demand (overload) condition. Lookups
+// are served by the demand kernel (see demandkernel.go): cached for the
+// current trace epoch, bit-identical to a fresh per-VM summation.
 func (s *Server) DemandAt(t time.Duration) float64 {
-	sum := 0.0
-	for _, vm := range s.vms {
-		sum += vm.DemandAt(t)
-	}
-	return sum
+	return s.demandAt(t)
 }
 
 // UtilizationAt returns demand/capacity at time t, uncapped, so values above
@@ -450,9 +454,15 @@ func (d *DataCenter) CheckInvariants() error {
 		if diff := ram - s.usedRAMMB; diff > 1e-6 || diff < -1e-6 {
 			return fmt.Errorf("dc: server %d RAM accounting drift: %v vs %v", s.ID, s.usedRAMMB, ram)
 		}
+		if len(s.kernel.cursors) != len(s.vms) {
+			return fmt.Errorf("dc: server %d has %d demand cursors for %d VMs", s.ID, len(s.kernel.cursors), len(s.vms))
+		}
 		for i, vm := range s.vms {
 			if i > 0 && s.vms[i-1].ID >= vm.ID {
 				return fmt.Errorf("dc: server %d VM slice not strictly sorted at %d", s.ID, i)
+			}
+			if s.kernel.cursors[i].VM != vm {
+				return fmt.Errorf("dc: server %d demand cursor %d tracks the wrong VM", s.ID, i)
 			}
 			host, ok := d.byVM[vm.ID]
 			if !ok || host != s {

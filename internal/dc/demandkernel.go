@@ -1,0 +1,148 @@
+package dc
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// The demand kernel caches each server's aggregate CPU demand so the policy
+// scans that dominate a run — assignment invitations and migration rounds
+// evaluating UtilizationAt across the whole fleet — cost one float read per
+// server instead of one trace lookup per hosted VM.
+//
+// Correctness contract: the cached value is BIT-IDENTICAL to the naive
+// recomputation (a fresh sum of vm.DemandAt(t) in VM-ID order). That is what
+// lets every caller — ecocloud, baseline, cluster, experiments — take the
+// fast path with zero behavioural drift, and it dictates the design:
+//
+//   - The cache is filled lazily by the exact summation the naive path runs,
+//     in the same (ID-sorted) order. Mutations do NOT fold a VM's demand in
+//     or out of the cached sum incrementally — floating-point addition is not
+//     associative, so that would change the bits. Place/Remove/Migrate just
+//     invalidate (O(1)) and the next DemandAt refills.
+//   - The filled value is keyed by a validity window [from, until): the
+//     intersection of the hosted VMs' constant-demand windows (their current
+//     trace epochs, clamped by lifetime). Any lookup inside the window is a
+//     hit; the first lookup past an epoch boundary misses and refills.
+//   - Per-VM step-function positions are memoized by trace.DemandCursor
+//     (owned by the server, one per hosted VM), so refills are an array read
+//     per VM rather than a division per VM.
+//
+// Concurrency: a server's cache is mutated on reads. That is safe under the
+// project's execution model — the engine is single-threaded, and the only
+// parallel fan-outs (ecocloud's invitation round, the experiment registry)
+// partition servers, or whole data centers, across workers. Workloads shared
+// between concurrent runs stay read-only: the cursors live here, not in
+// trace.VM.
+type demandKernel struct {
+	// disabled switches DemandAt back to naive recomputation; the
+	// differential tests and scalability benchmarks measure against it.
+	disabled bool
+
+	valid       bool
+	from, until time.Duration
+	sum         float64
+
+	// cursors is index-parallel to Server.vms.
+	cursors []trace.DemandCursor
+
+	hits, misses, invalidations uint64
+}
+
+// invalidate drops the cached aggregate (the cursors stay; their memos are
+// keyed by time, not by placement).
+func (k *demandKernel) invalidate() {
+	if k.valid {
+		k.valid = false
+		k.invalidations++
+	}
+}
+
+// insertCursor mirrors Server.insert at index i.
+func (k *demandKernel) insertCursor(i int, vm *trace.VM) {
+	k.cursors = append(k.cursors, trace.DemandCursor{})
+	copy(k.cursors[i+1:], k.cursors[i:])
+	k.cursors[i] = trace.DemandCursor{VM: vm}
+	k.invalidate()
+}
+
+// removeCursor mirrors Server.removeAt at index i.
+func (k *demandKernel) removeCursor(i int) {
+	copy(k.cursors[i:], k.cursors[i+1:])
+	k.cursors[len(k.cursors)-1] = trace.DemandCursor{}
+	k.cursors = k.cursors[:len(k.cursors)-1]
+	k.invalidate()
+}
+
+// recomputeDemandAt is the naive path: a fresh sum of per-VM trace lookups
+// in VM-ID order. It is the reference the cache must reproduce bit for bit.
+func (s *Server) recomputeDemandAt(t time.Duration) float64 {
+	sum := 0.0
+	for _, vm := range s.vms {
+		sum += vm.DemandAt(t)
+	}
+	return sum
+}
+
+// demandAt serves a lookup through the kernel: hit on the cached window,
+// refill through the cursors otherwise.
+func (s *Server) demandAt(t time.Duration) float64 {
+	k := &s.kernel
+	if k.disabled {
+		return s.recomputeDemandAt(t)
+	}
+	if k.valid && t >= k.from && t < k.until {
+		k.hits++
+		return k.sum
+	}
+	k.misses++
+	sum := 0.0
+	from := time.Duration(math.MinInt64)
+	until := time.Duration(math.MaxInt64)
+	for i := range k.cursors {
+		d, f, u := k.cursors[i].Lookup(t)
+		sum += d
+		if f > from {
+			from = f
+		}
+		if u < until {
+			until = u
+		}
+	}
+	k.valid, k.from, k.until, k.sum = true, from, until, sum
+	return sum
+}
+
+// DemandCacheStats aggregates the demand kernel's counters across a fleet.
+// Hits and misses count DemandAt lookups (and the UtilizationAt /
+// OverDemandAt wrappers); invalidations count cache drops forced by
+// Place/Remove/Migrate.
+type DemandCacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+}
+
+// DemandCacheStats sums the per-server kernel counters.
+func (d *DataCenter) DemandCacheStats() DemandCacheStats {
+	var st DemandCacheStats
+	for _, s := range d.Servers {
+		st.Hits += s.kernel.hits
+		st.Misses += s.kernel.misses
+		st.Invalidations += s.kernel.invalidations
+	}
+	return st
+}
+
+// SetDemandCache enables or disables the demand kernel on every server.
+// Disabling also drops any cached aggregates, so a subsequent re-enable
+// starts cold. The cache is on by default; the off position exists for the
+// differential tests and the naive-vs-cached scalability benchmarks.
+func (d *DataCenter) SetDemandCache(on bool) {
+	for _, s := range d.Servers {
+		s.kernel.disabled = !on
+		s.kernel.valid = false
+	}
+}

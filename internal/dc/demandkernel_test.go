@@ -1,0 +1,212 @@
+package dc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// fuzzVM synthesizes a VM with a random lifetime and step function: mostly
+// epoch-sampled traces, some constant-demand VMs (including the Epoch == 0
+// form the churn workloads use).
+func fuzzVM(src *rng.Source, id int, horizon time.Duration) *trace.VM {
+	start := time.Duration(src.Intn(int(horizon / 2)))
+	end := start + time.Duration(1+src.Intn(int(horizon-start)))
+	vm := &trace.VM{ID: id, Start: start, End: end}
+	if src.Bernoulli(0.3) {
+		// Constant demand; half with the degenerate zero epoch.
+		if src.Bernoulli(0.5) {
+			vm.Epoch = end - start
+		}
+		vm.Demand = []float64{src.Float64() * 2400}
+		return vm
+	}
+	vm.Epoch = time.Duration(1 + src.Intn(int(30*time.Minute)))
+	n := 1 + src.Intn(20)
+	vm.Demand = make([]float64, n)
+	for i := range vm.Demand {
+		vm.Demand[i] = src.Float64() * 2400
+	}
+	return vm
+}
+
+// TestDemandKernelDifferentialFuzz drives random place/remove/migrate/
+// activate/hibernate sequences over a small fleet and asserts, at every
+// step and at adversarial probe times (epoch boundaries, revisits, jumps
+// backwards), that the cached DemandAt is bit-identical to the naive
+// recomputation — the kernel's core contract.
+func TestDemandKernelDifferentialFuzz(t *testing.T) {
+	const horizon = 8 * time.Hour
+	for seed := uint64(1); seed <= 8; seed++ {
+		src := rng.New(seed)
+		d := New(UniformFleet(6, 4, 2000))
+		vms := make([]*trace.VM, 40)
+		for i := range vms {
+			vms[i] = fuzzVM(src.SplitIndex("vm", i), i, horizon)
+		}
+		placed := map[int]*Server{}
+
+		probe := func(now time.Duration) {
+			times := []time.Duration{
+				now,
+				time.Duration(src.Intn(int(horizon))),
+				now + time.Duration(src.Intn(int(time.Hour))),
+			}
+			// Hammer one VM's exact epoch boundaries too.
+			vm := vms[src.Intn(len(vms))]
+			if vm.Epoch > 0 {
+				k := src.Intn(len(vm.Demand) + 1)
+				times = append(times, vm.Start+time.Duration(k)*vm.Epoch, vm.End)
+			}
+			for _, s := range d.Servers {
+				for _, at := range times {
+					want := s.recomputeDemandAt(at)
+					if got := s.DemandAt(at); got != want {
+						t.Fatalf("seed %d: server %d at %v: cached %v != naive %v", seed, s.ID, at, got, want)
+					}
+					// Second lookup must be a pure cache hit with the same bits.
+					if got := s.DemandAt(at); got != want {
+						t.Fatalf("seed %d: server %d at %v: cache hit drifted", seed, s.ID, at)
+					}
+				}
+			}
+		}
+
+		now := time.Duration(0)
+		for step := 0; step < 400; step++ {
+			if src.Bernoulli(0.3) {
+				now += time.Duration(src.Intn(int(10 * time.Minute)))
+			}
+			switch src.Intn(5) {
+			case 0: // place a random unplaced VM on a random active server
+				vm := vms[src.Intn(len(vms))]
+				s := d.Servers[src.Intn(len(d.Servers))]
+				if placed[vm.ID] != nil || s.State() != Active {
+					continue
+				}
+				if err := d.Place(vm, s); err != nil {
+					t.Fatal(err)
+				}
+				placed[vm.ID] = s
+			case 1: // remove a random placed VM
+				vm := vms[src.Intn(len(vms))]
+				if placed[vm.ID] == nil {
+					continue
+				}
+				if _, err := d.Remove(vm.ID); err != nil {
+					t.Fatal(err)
+				}
+				delete(placed, vm.ID)
+			case 2: // migrate
+				vm := vms[src.Intn(len(vms))]
+				to := d.Servers[src.Intn(len(d.Servers))]
+				if placed[vm.ID] == nil || placed[vm.ID] == to || to.State() != Active {
+					continue
+				}
+				if err := d.Migrate(vm.ID, to); err != nil {
+					t.Fatal(err)
+				}
+				placed[vm.ID] = to
+			case 3: // activate
+				s := d.Servers[src.Intn(len(d.Servers))]
+				if s.State() == Active {
+					continue
+				}
+				if err := d.Activate(s, now); err != nil {
+					t.Fatal(err)
+				}
+			case 4: // hibernate an empty active server
+				s := d.Servers[src.Intn(len(d.Servers))]
+				if s.State() != Active || s.NumVMs() > 0 {
+					continue
+				}
+				if err := d.Hibernate(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			probe(now)
+		}
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		st := d.DemandCacheStats()
+		if st.Hits == 0 || st.Misses == 0 || st.Invalidations == 0 {
+			t.Fatalf("seed %d: degenerate cache traffic %+v", seed, st)
+		}
+	}
+}
+
+// TestDemandKernelDisabled pins the toggle: with the cache off, lookups are
+// naive recomputations and the hit/miss counters stay frozen.
+func TestDemandKernelDisabled(t *testing.T) {
+	d := New(UniformFleet(2, 4, 2000))
+	s := d.Servers[0]
+	if err := d.Activate(s, 0); err != nil {
+		t.Fatal(err)
+	}
+	vm := &trace.VM{ID: 0, End: time.Hour, Epoch: 5 * time.Minute, Demand: []float64{100, 200}}
+	if err := d.Place(vm, s); err != nil {
+		t.Fatal(err)
+	}
+	d.SetDemandCache(false)
+	before := d.DemandCacheStats()
+	for i := 0; i < 5; i++ {
+		if got := s.DemandAt(time.Minute); got != 100 {
+			t.Fatalf("DemandAt = %v, want 100", got)
+		}
+	}
+	if after := d.DemandCacheStats(); after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("disabled cache still counting: %+v -> %+v", before, after)
+	}
+	d.SetDemandCache(true)
+	if got := s.DemandAt(6 * time.Minute); got != 200 {
+		t.Fatalf("re-enabled DemandAt = %v, want 200", got)
+	}
+	if st := d.DemandCacheStats(); st.Misses == 0 {
+		t.Fatal("re-enabled cache never refilled")
+	}
+}
+
+// TestDemandKernelStatsAndWindows checks hit/miss/invalidation accounting on
+// a deterministic scenario: repeated same-epoch lookups hit, an epoch
+// boundary misses, and a placement invalidates.
+func TestDemandKernelStatsAndWindows(t *testing.T) {
+	d := New(UniformFleet(1, 4, 2000))
+	s := d.Servers[0]
+	if err := d.Activate(s, 0); err != nil {
+		t.Fatal(err)
+	}
+	epoch := 5 * time.Minute
+	vmA := &trace.VM{ID: 0, End: time.Hour, Epoch: epoch, Demand: []float64{100, 150, 175}}
+	if err := d.Place(vmA, s); err != nil {
+		t.Fatal(err)
+	}
+
+	s.DemandAt(0) // cold: miss
+	s.DemandAt(time.Minute)
+	s.DemandAt(4 * time.Minute)
+	st := d.DemandCacheStats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("same-epoch stats = %+v, want 1 miss / 2 hits", st)
+	}
+
+	s.DemandAt(epoch) // next epoch: miss
+	st = d.DemandCacheStats()
+	if st.Misses != 2 {
+		t.Fatalf("epoch boundary did not miss: %+v", st)
+	}
+
+	vmB := &trace.VM{ID: 1, End: time.Hour, Epoch: epoch, Demand: []float64{50}}
+	if err := d.Place(vmB, s); err != nil {
+		t.Fatal(err)
+	}
+	st = d.DemandCacheStats()
+	if st.Invalidations == 0 {
+		t.Fatalf("placement did not invalidate: %+v", st)
+	}
+	if got := s.DemandAt(epoch); got != 200 {
+		t.Fatalf("post-placement demand = %v, want 200", got)
+	}
+}

@@ -371,7 +371,9 @@ func (p *Policy) multiTrial(s *dc.Server, fa AssignProbFunc, u, ramU float64) bo
 
 // utilizations evaluates UtilizationAt for every server, fanning out across
 // GOMAXPROCS workers when the fleet is large and Parallel is set. The
-// result is identical to the sequential path: utilization reads are pure.
+// result is identical to the sequential path: a utilization read returns the
+// same bits either way (it may fill the server's demand cache, but servers
+// are partitioned across workers, so no server is touched by two goroutines).
 func (p *Policy) utilizations(servers []*dc.Server, now time.Duration) []float64 {
 	out := make([]float64, len(servers))
 	workers := runtime.GOMAXPROCS(0)

@@ -109,21 +109,17 @@ func ReadCSV(r io.Reader) (*Set, error) {
 			vm.RAMMB = ram
 			demandFields = fields[5:]
 		}
-		if vm.Epoch <= 0 {
-			return nil, fmt.Errorf("trace: line %d: non-positive epoch %v", line, vm.Epoch)
-		}
-		if vm.End < vm.Start {
-			return nil, fmt.Errorf("trace: line %d: end %v before start %v", line, vm.End, vm.Start)
-		}
 		for _, f := range demandFields {
 			d, err := strconv.ParseFloat(f, 64)
 			if err != nil {
 				return nil, fmt.Errorf("trace: line %d: bad demand: %v", line, err)
 			}
-			if d < 0 {
-				return nil, fmt.Errorf("trace: line %d: negative demand %v", line, d)
-			}
 			vm.Demand = append(vm.Demand, d)
+		}
+		// Validate permits a non-positive epoch only on constant-demand
+		// (single-sample) VMs; everything else is rejected here.
+		if err := vm.Validate(); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
 		}
 		set.VMs = append(set.VMs, vm)
 	}

@@ -55,16 +55,110 @@ func (v *VM) Alive(t time.Duration) bool { return t >= v.Start && t < v.End }
 
 // DemandAt returns the VM's CPU demand in MHz at virtual time t (a step
 // function over epochs, clamped to the last sample) or 0 if the VM is not
-// alive at t.
+// alive at t. A VM with a single sample — or a non-positive Epoch, which
+// Validate only permits alongside a single sample — is constant-demand for
+// its whole life.
 func (v *VM) DemandAt(t time.Duration) float64 {
 	if !v.Alive(t) || len(v.Demand) == 0 {
 		return 0
+	}
+	if v.Epoch <= 0 || len(v.Demand) == 1 {
+		return v.Demand[0]
 	}
 	i := int((t - v.Start) / v.Epoch)
 	if i >= len(v.Demand) {
 		i = len(v.Demand) - 1
 	}
 	return v.Demand[i]
+}
+
+// Validate reports whether the VM's fields are internally consistent. A
+// non-positive Epoch is legal only for constant-demand VMs (at most one
+// sample); a multi-sample trace needs a positive epoch to index into.
+func (v *VM) Validate() error {
+	switch {
+	case v.End < v.Start:
+		return fmt.Errorf("trace: VM %d: end %v before start %v", v.ID, v.End, v.Start)
+	case len(v.Demand) > 1 && v.Epoch <= 0:
+		return fmt.Errorf("trace: VM %d: %d samples with non-positive epoch %v", v.ID, len(v.Demand), v.Epoch)
+	case v.RAMMB < 0:
+		return fmt.Errorf("trace: VM %d: negative RAM %v", v.ID, v.RAMMB)
+	}
+	for i, d := range v.Demand {
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("trace: VM %d: bad demand sample %d: %v", v.ID, i, d)
+		}
+	}
+	return nil
+}
+
+// Sentinel window bounds returned by demandIndexAt for intervals that are
+// unbounded on one side. They are extreme enough that no simulation clock
+// reaches them, so callers can intersect windows without special cases.
+const (
+	minTime = time.Duration(math.MinInt64)
+	maxTime = time.Duration(math.MaxInt64)
+)
+
+// demandIndexAt locates t in the VM's step function: it returns the index of
+// the demand sample governing t (or -1 when the VM contributes 0, i.e. it is
+// outside its lifetime or has no samples) and the maximal half-open window
+// [from, until) containing t over which DemandAt is constant.
+func (v *VM) demandIndexAt(t time.Duration) (idx int, from, until time.Duration) {
+	if len(v.Demand) == 0 {
+		return -1, minTime, maxTime
+	}
+	if t < v.Start {
+		return -1, minTime, v.Start
+	}
+	if t >= v.End {
+		return -1, v.End, maxTime
+	}
+	if v.Epoch <= 0 || len(v.Demand) == 1 {
+		return 0, v.Start, v.End
+	}
+	i := int((t - v.Start) / v.Epoch)
+	last := len(v.Demand) - 1
+	if i >= last {
+		// Clamped to the final sample, which rules until the VM departs.
+		return last, v.Start + time.Duration(last)*v.Epoch, v.End
+	}
+	from = v.Start + time.Duration(i)*v.Epoch
+	until = from + v.Epoch
+	if until > v.End {
+		until = v.End
+	}
+	return i, from, until
+}
+
+// DemandCursor memoizes one VM's step-function position so repeated lookups
+// within the same epoch are a single bounds test plus an array read — no
+// division. The returned demand is bit-identical to VM.DemandAt.
+//
+// A cursor is mutable state and is NOT safe for concurrent use; workloads
+// are shared across concurrently running simulations (the comparison
+// experiment), so the memo lives here rather than in the shared VM. Each
+// owner (e.g. the hosting dc.Server) keeps its own cursor per VM.
+type DemandCursor struct {
+	VM *VM
+
+	valid       bool
+	idx         int // sample index, or -1 when the VM contributes 0
+	from, until time.Duration
+}
+
+// Lookup returns the VM's demand at t plus the half-open window [from,
+// until) over which that demand stays constant, refreshing the memo only
+// when t leaves the cached window.
+func (c *DemandCursor) Lookup(t time.Duration) (mhz float64, from, until time.Duration) {
+	if !c.valid || t < c.from || t >= c.until {
+		c.idx, c.from, c.until = c.VM.demandIndexAt(t)
+		c.valid = true
+	}
+	if c.idx < 0 {
+		return 0, c.from, c.until
+	}
+	return c.VM.Demand[c.idx], c.from, c.until
 }
 
 // Avg returns the mean demand over the VM's samples (MHz).
@@ -97,6 +191,18 @@ type Set struct {
 	// RefCapacityMHz is the host capacity that per-VM utilization
 	// percentages (Figs. 4–5) are relative to.
 	RefCapacityMHz float64
+}
+
+// Validate reports the first invalid VM in the set, if any. Simulation
+// drivers call it up front so a malformed trace (e.g. a multi-sample VM with
+// a non-positive epoch) fails loudly instead of mid-run.
+func (s *Set) Validate() error {
+	for _, vm := range s.VMs {
+		if err := vm.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // TotalDemandAt returns the summed demand (MHz) of all VMs alive at t.

@@ -40,6 +40,93 @@ func TestVMDemandAt(t *testing.T) {
 	}
 }
 
+// A constant-demand VM with Epoch == 0 used to divide by zero; it must act
+// as a constant step over its whole lifetime instead.
+func TestVMDemandAtZeroEpochConstant(t *testing.T) {
+	vm := &VM{ID: 1, Start: time.Hour, End: 3 * time.Hour, Epoch: 0, Demand: []float64{150}}
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{0, 0},
+		{time.Hour, 150},
+		{2 * time.Hour, 150},
+		{3*time.Hour - time.Nanosecond, 150},
+		{3 * time.Hour, 0},
+	}
+	for _, c := range cases {
+		if got := vm.DemandAt(c.t); got != c.want {
+			t.Errorf("DemandAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestVMValidate(t *testing.T) {
+	ok := []*VM{
+		{ID: 0, End: time.Hour, Epoch: time.Minute, Demand: []float64{1, 2}},
+		{ID: 1, End: time.Hour, Epoch: 0, Demand: []float64{5}}, // constant, zero epoch
+		{ID: 2, End: time.Hour, Epoch: -time.Minute, Demand: nil},
+	}
+	for _, vm := range ok {
+		if err := vm.Validate(); err != nil {
+			t.Errorf("VM %d rejected: %v", vm.ID, err)
+		}
+	}
+	bad := []*VM{
+		{ID: 3, End: time.Hour, Epoch: 0, Demand: []float64{1, 2}}, // multi-sample, zero epoch
+		{ID: 4, End: time.Hour, Epoch: -time.Minute, Demand: []float64{1, 2}},
+		{ID: 5, Start: time.Hour, End: 0, Epoch: time.Minute, Demand: []float64{1}},
+		{ID: 6, End: time.Hour, Epoch: time.Minute, Demand: []float64{-1}},
+		{ID: 7, End: time.Hour, Epoch: time.Minute, Demand: []float64{math.NaN()}},
+		{ID: 8, End: time.Hour, Epoch: time.Minute, Demand: []float64{1}, RAMMB: -4},
+	}
+	for _, vm := range bad {
+		if err := vm.Validate(); err == nil {
+			t.Errorf("VM %d accepted", vm.ID)
+		}
+	}
+	set := &Set{VMs: []*VM{ok[0], bad[0]}}
+	if err := set.Validate(); err == nil {
+		t.Error("set with an invalid VM accepted")
+	}
+}
+
+// The cursor must agree with DemandAt bit for bit at every probe, hot or
+// cold, and its windows must actually bound the constant stretches.
+func TestDemandCursorMatchesDemandAt(t *testing.T) {
+	vms := []*VM{
+		{ID: 0, Start: time.Hour, End: 3 * time.Hour, Epoch: 30 * time.Minute, Demand: []float64{100, 200, 300, 400}},
+		{ID: 1, Start: 0, End: 2 * time.Hour, Epoch: 0, Demand: []float64{150}},
+		{ID: 2, Start: 30 * time.Minute, End: 90 * time.Minute, Epoch: time.Hour, Demand: []float64{50, 60, 70}},
+		{ID: 3, Start: 0, End: time.Hour, Epoch: time.Minute, Demand: nil},
+	}
+	// Probes deliberately revisit times and jump backwards: the memo must
+	// survive non-monotone access.
+	probes := []time.Duration{
+		0, time.Hour, time.Hour + time.Minute, 2 * time.Hour, 30 * time.Minute,
+		89 * time.Minute, 90 * time.Minute, 4 * time.Hour, time.Hour, 0,
+		3*time.Hour - time.Nanosecond, 179 * time.Minute,
+	}
+	for _, vm := range vms {
+		c := DemandCursor{VM: vm}
+		for _, p := range probes {
+			got, from, until := c.Lookup(p)
+			if want := vm.DemandAt(p); got != want {
+				t.Fatalf("VM %d: Lookup(%v) = %v, want %v", vm.ID, p, got, want)
+			}
+			if p < from || p >= until {
+				t.Fatalf("VM %d: window [%v, %v) does not contain %v", vm.ID, from, until, p)
+			}
+			// Every instant inside the window must carry the same demand.
+			for _, q := range []time.Duration{from, until - 1} {
+				if vm.DemandAt(q) != got {
+					t.Fatalf("VM %d: demand changes within window [%v, %v)", vm.ID, from, until)
+				}
+			}
+		}
+	}
+}
+
 func TestVMAvgPeak(t *testing.T) {
 	vm := &VM{Epoch: time.Minute, End: time.Hour, Demand: []float64{1, 2, 3}}
 	if vm.Avg() != 2 {
@@ -381,7 +468,7 @@ func TestReadCSVRejectsGarbage(t *testing.T) {
 		"",                                       // no header
 		"# ref_capacity_mhz,8000\n1,2,3\n",       // too few fields
 		"# ref_capacity_mhz,8000\nx,0,1,1,5\n",   // bad id
-		"# ref_capacity_mhz,8000\n1,0,1,0,5\n",   // zero epoch
+		"# ref_capacity_mhz,8000\n1,0,1,0,5,6\n", // zero epoch with multiple samples
 		"# ref_capacity_mhz,8000\n1,5,1,1,5\n",   // end before start
 		"# ref_capacity_mhz,8000\n1,0,9,1,-5\n",  // negative demand
 		"# ref_capacity_mhz,8000\n1,0,9,1,abc\n", // bad demand
