@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test bench bench-scale figures race cover clean
+.PHONY: all build vet lint test bench bench-scale figures faults race cover clean
 
 all: build vet lint test
 
@@ -38,6 +38,11 @@ bench-scale:
 # manifest (out/run.json) and the JSONL event journal (out/journal.jsonl).
 figures:
 	$(GO) run ./cmd/ecobench -out out -scale 1.0
+
+# Fault-injection sweep (crashes, wake failures, lossy fabric) at full scale:
+# the MTBF x MTTR grid behind out/faults.csv. See DESIGN.md "Failure semantics".
+faults:
+	$(GO) run ./cmd/ecobench -out out -experiments faults
 
 # Remove run artifacts but keep the checked-in figure CSVs and report.
 clean:

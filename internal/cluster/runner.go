@@ -174,6 +174,12 @@ func observeDCEvent(r *obs.Recorder, now time.Duration, e dc.Event) {
 		r.Count("cluster.wakeups", 1)
 	case dc.EventHibernate:
 		r.Count("cluster.hibernations", 1)
+	case dc.EventFail:
+		r.Count("cluster.failures", 1)
+	case dc.EventRecover:
+		r.Count("cluster.recoveries", 1)
+	case dc.EventCrashEvict:
+		r.Count("cluster.crash_evictions", 1)
 	}
 	if r.Journaling() {
 		fields := map[string]any{"server": e.Server}

@@ -51,8 +51,8 @@ func (d *DataCenter) CheckRuntime(now time.Duration) error {
 			}
 			demand += v
 		}
-		if s.state == Hibernated && demand > 0 {
-			return fmt.Errorf("dc: hibernated server %d carries demand %v at %v", s.ID, demand, now)
+		if s.state != Active && demand > 0 {
+			return fmt.Errorf("dc: %s server %d carries demand %v at %v", s.state, s.ID, demand, now)
 		}
 		// The demand kernel promises bit-identity with the naive summation
 		// just performed, so this comparison is exact, not tolerance-based.

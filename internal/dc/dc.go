@@ -24,6 +24,9 @@ const (
 	Hibernated State = iota
 	// Active servers host VMs and consume idle+proportional power.
 	Active
+	// Failed servers have crashed: they host no VMs, draw no power, and
+	// cannot be activated until they Recover (to Hibernated).
+	Failed
 )
 
 // String implements fmt.Stringer.
@@ -33,6 +36,8 @@ func (s State) String() string {
 		return "hibernated"
 	case Active:
 		return "active"
+	case Failed:
+		return "failed"
 	default:
 		return fmt.Sprintf("State(%d)", int(s))
 	}
@@ -94,7 +99,11 @@ func (p PowerModel) SwitchEnergyKWh(switches int) float64 {
 
 // Power returns the draw of a server in the given state at utilization u
 // (clamped to [0,1]; over-demand cannot push the CPU past full speed).
+// Failed servers draw nothing: a crashed machine is off the PDU.
 func (p PowerModel) Power(state State, u float64) float64 {
+	if state == Failed {
+		return 0
+	}
 	if state == Hibernated {
 		return p.HibernateW
 	}
@@ -221,6 +230,10 @@ type DataCenter struct {
 	Activations  int
 	Hibernations int
 
+	// Fault counters, incremented by Fail/Recover.
+	Failures   int
+	Recoveries int
+
 	// journal, when set, receives every state mutation (see journal.go).
 	journal func(Event)
 
@@ -298,10 +311,14 @@ func (d *DataCenter) HostOf(vmID int) (*Server, bool) {
 // NumPlaced returns how many VMs are currently placed.
 func (d *DataCenter) NumPlaced() int { return len(d.byVM) }
 
-// Activate wakes a hibernated server at virtual time t.
+// Activate wakes a hibernated server at virtual time t. Failed servers
+// cannot be woken: the wake command is lost on dead hardware.
 func (d *DataCenter) Activate(s *Server, t time.Duration) error {
 	if s.state == Active {
 		return fmt.Errorf("dc: server %d already active", s.ID)
+	}
+	if s.state == Failed {
+		return fmt.Errorf("dc: activating failed server %d", s.ID)
 	}
 	s.state = Active
 	s.ActivatedAt = t
@@ -324,10 +341,12 @@ func (d *DataCenter) Hibernate(s *Server) error {
 	return nil
 }
 
-// Place assigns an unplaced VM to an active server.
+// Place assigns an unplaced VM to an active server. Placing on a hibernated
+// or failed server is a hard error in every build (not just checked mode):
+// the fault path must never silently park a VM on a sleeping or dead machine.
 func (d *DataCenter) Place(vm *trace.VM, s *Server) error {
 	if s.state != Active {
-		return fmt.Errorf("dc: placing VM %d on non-active server %d", vm.ID, s.ID)
+		return fmt.Errorf("dc: placing VM %d on %s server %d", vm.ID, s.state, s.ID)
 	}
 	if host, ok := d.byVM[vm.ID]; ok {
 		return fmt.Errorf("dc: VM %d already placed on server %d", vm.ID, host.ID)
@@ -360,7 +379,7 @@ func (d *DataCenter) Migrate(vmID int, to *Server) error {
 		return fmt.Errorf("dc: migrating VM %d onto its own host %d", vmID, to.ID)
 	}
 	if to.state != Active {
-		return fmt.Errorf("dc: migrating VM %d to non-active server %d", vmID, to.ID)
+		return fmt.Errorf("dc: migrating VM %d to %s server %d", vmID, to.state, to.ID)
 	}
 	i := from.indexOf(vmID)
 	vm := from.vms[i]
@@ -369,6 +388,51 @@ func (d *DataCenter) Migrate(vmID int, to *Server) error {
 	d.byVM[vmID] = to
 	d.emit(Event{Kind: EventMigrate, VM: vmID, Server: from.ID, Dest: to.ID})
 	return nil
+}
+
+// Fail crashes a server at virtual time t, from any live state. Hosted VMs
+// are evicted (removed from the server and the index) and returned in
+// ascending ID order so the caller can decide their fate — re-enter them
+// through the assignment procedure, or count them as lost. The server ends
+// in Failed and stays unusable until Recover.
+func (d *DataCenter) Fail(s *Server, t time.Duration) ([]*trace.VM, error) {
+	if s.state == Failed {
+		return nil, fmt.Errorf("dc: server %d already failed", s.ID)
+	}
+	evicted := s.VMs()
+	for _, vm := range evicted {
+		s.removeAt(s.indexOf(vm.ID))
+		delete(d.byVM, vm.ID)
+		d.emit(Event{Kind: EventCrashEvict, VM: vm.ID, Server: s.ID, Dest: -1})
+	}
+	s.state = Failed
+	d.Failures++
+	d.emit(Event{Kind: EventFail, VM: -1, Server: s.ID, Dest: -1})
+	return evicted, nil
+}
+
+// Recover returns a failed server to the wakeable pool at virtual time t. A
+// repaired machine boots into Hibernated — policies wake it when they need
+// it, exactly like a fresh server.
+func (d *DataCenter) Recover(s *Server, t time.Duration) error {
+	if s.state != Failed {
+		return fmt.Errorf("dc: recovering %s server %d", s.state, s.ID)
+	}
+	s.state = Hibernated
+	d.Recoveries++
+	d.emit(Event{Kind: EventRecover, VM: -1, Server: s.ID, Dest: -1})
+	return nil
+}
+
+// FailedCount returns how many servers are currently failed.
+func (d *DataCenter) FailedCount() int {
+	n := 0
+	for _, s := range d.Servers {
+		if s.state == Failed {
+			n++
+		}
+	}
+	return n
 }
 
 // PowerAt returns the total electrical draw (W) of the fleet at time t under
@@ -439,13 +503,14 @@ func MinServersFor(specs []Spec, demandMHz, ta float64) int {
 }
 
 // CheckInvariants verifies internal consistency: every indexed VM is on the
-// server the index claims, hosted VM sets match the index exactly, and
-// hibernated servers are empty. Tests and the driver's paranoid mode call it.
+// server the index claims, hosted VM sets match the index exactly, and only
+// active servers host VMs (hibernated and failed servers must be empty).
+// Tests and the driver's paranoid mode call it.
 func (d *DataCenter) CheckInvariants() error {
 	seen := 0
 	for _, s := range d.Servers {
-		if s.state == Hibernated && len(s.vms) > 0 {
-			return fmt.Errorf("dc: hibernated server %d hosts %d VMs", s.ID, len(s.vms))
+		if s.state != Active && len(s.vms) > 0 {
+			return fmt.Errorf("dc: %s server %d hosts %d VMs", s.state, s.ID, len(s.vms))
 		}
 		ram := 0.0
 		for _, vm := range s.vms {

@@ -19,6 +19,13 @@ const (
 	EventMigrate   EventKind = "migrate"
 	EventActivate  EventKind = "activate"
 	EventHibernate EventKind = "hibernate"
+	// EventFail marks a server crash; every VM it hosted is journaled first
+	// as its own EventCrashEvict (distinct from EventRemove so crash losses
+	// never pollute the departure counters). EventRecover marks the repaired
+	// server rejoining the wakeable pool.
+	EventFail       EventKind = "fail"
+	EventRecover    EventKind = "recover"
+	EventCrashEvict EventKind = "crash-evict"
 )
 
 // SetJournal installs (or clears, with nil) the journal callback. The

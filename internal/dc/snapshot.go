@@ -18,12 +18,17 @@ type Snapshot struct {
 	Servers      []ServerSnapshot `json:"servers"`
 	Activations  int              `json:"activations"`
 	Hibernations int              `json:"hibernations"`
+	Failures     int              `json:"failures,omitempty"`
+	Recoveries   int              `json:"recoveries,omitempty"`
 }
 
-// ServerSnapshot is one server's mutable state.
+// ServerSnapshot is one server's mutable state. Active and Failed are
+// mutually exclusive; both false means Hibernated (the pre-fault wire format
+// stays readable: old snapshots simply never set Failed).
 type ServerSnapshot struct {
 	ID          int   `json:"id"`
 	Active      bool  `json:"active"`
+	Failed      bool  `json:"failed,omitempty"`
 	ActivatedNS int64 `json:"activated_ns"`
 	VMs         []int `json:"vms"`
 }
@@ -33,11 +38,14 @@ func (d *DataCenter) Snapshot() Snapshot {
 	snap := Snapshot{
 		Activations:  d.Activations,
 		Hibernations: d.Hibernations,
+		Failures:     d.Failures,
+		Recoveries:   d.Recoveries,
 	}
 	for _, s := range d.Servers {
 		ss := ServerSnapshot{
 			ID:          s.ID,
 			Active:      s.state == Active,
+			Failed:      s.state == Failed,
 			ActivatedNS: int64(s.ActivatedAt),
 		}
 		for _, vm := range s.vms {
@@ -66,11 +74,19 @@ func Restore(specs []Spec, ws *trace.Set, snap Snapshot) (*DataCenter, error) {
 			return nil, fmt.Errorf("dc: snapshot server id %d out of range", ss.ID)
 		}
 		s := d.Servers[ss.ID]
-		if ss.Active {
+		switch {
+		case ss.Active && ss.Failed:
+			return nil, fmt.Errorf("dc: snapshot server %d both active and failed", ss.ID)
+		case ss.Active:
 			if err := d.Activate(s, time.Duration(ss.ActivatedNS)); err != nil {
 				return nil, err
 			}
-		} else if len(ss.VMs) > 0 {
+		case ss.Failed:
+			if len(ss.VMs) > 0 {
+				return nil, fmt.Errorf("dc: snapshot has %d VMs on failed server %d", len(ss.VMs), ss.ID)
+			}
+			s.state = Failed
+		case len(ss.VMs) > 0:
 			return nil, fmt.Errorf("dc: snapshot has %d VMs on hibernated server %d", len(ss.VMs), ss.ID)
 		}
 		for _, id := range ss.VMs {
@@ -86,6 +102,8 @@ func Restore(specs []Spec, ws *trace.Set, snap Snapshot) (*DataCenter, error) {
 	// The snapshot's counters override the ones the replay just produced.
 	d.Activations = snap.Activations
 	d.Hibernations = snap.Hibernations
+	d.Failures = snap.Failures
+	d.Recoveries = snap.Recoveries
 	if err := d.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("dc: restored state inconsistent: %v", err)
 	}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// runFaultsGolden runs the registered "faults" experiment at test scale —
+// one hostile grid cell, crashes and wake failures and a lossy fabric all
+// active — and returns the figure CSV plus the raw JSONL journal. Faults are
+// the hardest case for the determinism contract: crash schedules, evacuation
+// storms and dropped messages must all replay bit-identically from the seed.
+func runFaultsGolden(t *testing.T, seed uint64) (csv, journal []byte) {
+	t.Helper()
+	var jbuf bytes.Buffer
+	res, err := Run("faults", RunRequest{
+		Config: RunConfig{
+			Servers: 20,
+			NumVMs:  300,
+			Horizon: 4 * time.Hour,
+			Seed:    seed,
+			Obs:     obs.NewRecorder(nil, obs.NewJournal(&jbuf)),
+		},
+		Scale: 0.2, // collapses the sweep to a single (2 h, 10 min) cell
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cbuf bytes.Buffer
+	for _, f := range res.Figures {
+		fmt.Fprintf(&cbuf, "== %s ==\n", f.ID)
+		if err := f.WriteCSV(&cbuf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cbuf.Bytes(), jbuf.Bytes()
+}
+
+// TestFaultsIsSeedDeterministic extends the golden determinism test to the
+// fault-injection pipeline: two same-seed runs must produce byte-identical
+// CSV output and event journals even while servers crash, wakes fail, and
+// the fabric drops and duplicates messages.
+func TestFaultsIsSeedDeterministic(t *testing.T) {
+	csv1, journal1 := runFaultsGolden(t, 42)
+	csv2, journal2 := runFaultsGolden(t, 42)
+
+	if !bytes.Equal(csv1, csv2) {
+		t.Errorf("same seed, different CSV output (%d vs %d bytes)", len(csv1), len(csv2))
+		t.Logf("first divergence at byte %d", firstDiff(csv1, csv2))
+	}
+	if !bytes.Equal(journal1, journal2) {
+		t.Errorf("same seed, different journals (%d vs %d bytes)", len(journal1), len(journal2))
+		t.Logf("first divergence at byte %d", firstDiff(journal1, journal2))
+	}
+	if len(journal1) == 0 {
+		t.Error("journal is empty; the determinism check is vacuous")
+	}
+	// The run must actually have injected faults, or the test is vacuous in
+	// a different way: a fault-free run trivially replays. Crashes reach the
+	// journal as dc "fail" events.
+	if !bytes.Contains(journal1, []byte(`"fail"`)) {
+		t.Error("journal records no crashes; fault injection did not run")
+	}
+}
+
+// TestFaultsSeedChangesOutput pins the other half of the contract: a
+// different seed must perturb the fault schedule and the resulting run.
+func TestFaultsSeedChangesOutput(t *testing.T) {
+	_, journal1 := runFaultsGolden(t, 42)
+	_, journal2 := runFaultsGolden(t, 43)
+	if bytes.Equal(journal1, journal2) {
+		t.Error("seeds 42 and 43 produced identical journals; the seed is not reaching the fault schedule")
+	}
+}

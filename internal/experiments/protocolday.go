@@ -84,10 +84,7 @@ func ProtocolDay(opts ProtocolDayOptions) (*Figure, error) {
 			"placement_latency_us", "migration_latency_ms", "final_active",
 		},
 	}
-	migLatMS := 0.0
-	if migrations > 0 {
-		migLatMS = float64(c.Stats.MigrationLatency.Milliseconds()) / float64(migrations)
-	}
+	migLatMS := float64(c.Stats.MeanMigrationLatency().Microseconds()) / 1000
 	f.Add(
 		float64(c.Stats.Placements),
 		float64(c.Stats.MigrationsLow), float64(c.Stats.MigrationsHigh),

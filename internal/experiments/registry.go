@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/ecocloud"
 )
@@ -264,6 +265,25 @@ func init() {
 				return nil, err
 			}
 			return &RunResult{Name: "scalability", Figures: []*Figure{ScalabilityFigure(points)}, Raw: points}, nil
+		},
+	})
+	Register(Experiment{
+		Name:        "faults",
+		Description: "graceful degradation: MTBF/MTTR sweep with wake failures and a lossy fabric",
+		Run: func(req RunRequest) (*RunResult, error) {
+			opts := DefaultFaultsOptions()
+			opts.RunConfig = req.Apply(opts.RunConfig)
+			opts.Churn.ArrivalPerHour *= req.scale()
+			if req.scale() < 1 {
+				// Quick runs: one hostile and one mild cell instead of the grid.
+				opts.MTBFs = []time.Duration{2 * time.Hour}
+				opts.MTTRs = []time.Duration{10 * time.Minute}
+			}
+			f, err := Faults(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Name: "faults", Figures: []*Figure{f}}, nil
 		},
 	})
 	Register(Experiment{

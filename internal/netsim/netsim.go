@@ -44,6 +44,28 @@ func DefaultLatency() LatencyModel {
 	return LatencyModel{Base: 50 * time.Microsecond, PerKB: time.Microsecond, Jitter: 20 * time.Microsecond}
 }
 
+// Impairments is the lossy-delivery companion of LatencyModel: each delivery
+// is independently dropped with probability DropProb, and each surviving
+// delivery is duplicated with probability DupProb (the copy draws its own
+// latency, so it can overtake the original). The zero value is a perfect
+// fabric and draws nothing from the jitter stream, so fault-free runs are
+// bit-identical with or without the feature compiled in.
+type Impairments struct {
+	DropProb float64
+	DupProb  float64
+}
+
+// Validate reports whether the impairment probabilities are usable.
+func (i Impairments) Validate() error {
+	switch {
+	case i.DropProb < 0 || i.DropProb >= 1:
+		return fmt.Errorf("netsim: DropProb = %v", i.DropProb)
+	case i.DupProb < 0 || i.DupProb >= 1:
+		return fmt.Errorf("netsim: DupProb = %v", i.DupProb)
+	}
+	return nil
+}
+
 // delay computes one message's delivery latency.
 func (l LatencyModel) delay(size int, src *rng.Source) time.Duration {
 	d := l.Base + time.Duration(float64(l.PerKB)*float64(size)/1024)
@@ -57,12 +79,26 @@ func (l LatencyModel) delay(size int, src *rng.Source) time.Duration {
 type Network struct {
 	eng      *sim.Engine
 	lat      LatencyModel
+	imp      Impairments
 	src      *rng.Source
 	handlers map[NodeID]Handler
 
 	// Counters for the scalability experiments.
 	Sent  int
 	Bytes int64
+	// Impairment counters: deliveries lost, extra deliveries injected.
+	Dropped    int
+	Duplicated int
+}
+
+// SetImpairments installs (or clears, with the zero value) lossy delivery.
+// It panics on invalid probabilities: impairments come from validated
+// experiment configuration, not user input.
+func (n *Network) SetImpairments(imp Impairments) {
+	if err := imp.Validate(); err != nil {
+		panic(err.Error())
+	}
+	n.imp = imp
 }
 
 // New builds a network on the engine with the given latency model; jitter
@@ -87,6 +123,41 @@ func (n *Network) Register(id NodeID, h Handler) {
 func (n *Network) Send(msg Message) {
 	n.Sent++
 	n.Bytes += int64(msg.Size)
+	n.deliver(msg)
+}
+
+// Broadcast sends the same payload to every destination. The data-center
+// fabric supports hardware broadcast (footnote 1), so the sender pays one
+// message; each delivery still counts its bytes and its own latency draw
+// (and, under impairments, its own drop/duplicate decision).
+func (n *Network) Broadcast(from NodeID, tos []NodeID, kind string, payload any, size int) {
+	if len(tos) == 0 {
+		return
+	}
+	n.Sent++ // one wire transmission
+	for _, to := range tos {
+		n.Bytes += int64(size)
+		n.deliver(Message{From: from, To: to, Kind: kind, Payload: payload, Size: size})
+	}
+}
+
+// deliver applies the impairments and schedules the surviving copies. The
+// guards keep the rng stream untouched when a probability is zero, so the
+// perfect-fabric draw sequence is exactly the pre-impairment one.
+func (n *Network) deliver(msg Message) {
+	if n.imp.DropProb > 0 && n.src.Bernoulli(n.imp.DropProb) {
+		n.Dropped++
+		return
+	}
+	n.schedule(msg)
+	if n.imp.DupProb > 0 && n.src.Bernoulli(n.imp.DupProb) {
+		n.Duplicated++
+		n.schedule(msg)
+	}
+}
+
+// schedule queues one physical delivery after its own latency draw.
+func (n *Network) schedule(msg Message) {
 	d := n.lat.delay(msg.Size, n.src)
 	n.eng.After(d, "netsim:"+msg.Kind, func(*sim.Engine) {
 		h, ok := n.handlers[msg.To]
@@ -95,26 +166,4 @@ func (n *Network) Send(msg Message) {
 		}
 		h(msg)
 	})
-}
-
-// Broadcast sends the same payload to every destination. The data-center
-// fabric supports hardware broadcast (footnote 1), so the sender pays one
-// message; each delivery still counts its bytes and its own latency draw.
-func (n *Network) Broadcast(from NodeID, tos []NodeID, kind string, payload any, size int) {
-	if len(tos) == 0 {
-		return
-	}
-	n.Sent++ // one wire transmission
-	for _, to := range tos {
-		n.Bytes += int64(size)
-		msg := Message{From: from, To: to, Kind: kind, Payload: payload, Size: size}
-		d := n.lat.delay(size, n.src)
-		n.eng.After(d, "netsim:"+kind, func(*sim.Engine) {
-			h, ok := n.handlers[msg.To]
-			if !ok {
-				panic(fmt.Sprintf("netsim: broadcast %q to unregistered node %d", kind, msg.To))
-			}
-			h(msg)
-		})
-	}
 }

@@ -136,3 +136,119 @@ func TestRequestReplyRoundTrip(t *testing.T) {
 		t.Fatalf("sent = %d, want 2", net.Sent)
 	}
 }
+
+func TestImpairmentsValidate(t *testing.T) {
+	bad := []Impairments{{DropProb: -0.1}, {DropProb: 1}, {DupProb: -1}, {DupProb: 1.5}}
+	for i, imp := range bad {
+		if err := imp.Validate(); err == nil {
+			t.Errorf("bad impairments %d accepted: %+v", i, imp)
+		}
+	}
+	if err := (Impairments{DropProb: 0.5, DupProb: 0.5}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDropLosesDeliveries(t *testing.T) {
+	eng := sim.New()
+	net := New(eng, fixedLatency(time.Millisecond), rng.New(5))
+	net.SetImpairments(Impairments{DropProb: 0.5})
+	delivered := 0
+	net.Register(1, func(Message) { delivered++ })
+	const sent = 1000
+	for i := 0; i < sent; i++ {
+		net.Send(Message{To: 1, Kind: "ping", Size: 8})
+	}
+	eng.Run(0)
+	if delivered+net.Dropped != sent {
+		t.Fatalf("delivered %d + dropped %d != sent %d", delivered, net.Dropped, sent)
+	}
+	if net.Dropped < 400 || net.Dropped > 600 {
+		t.Fatalf("dropped = %d of %d at p=0.5", net.Dropped, sent)
+	}
+	// The wire transmission still happened and still counts.
+	if net.Sent != sent || net.Bytes != 8*sent {
+		t.Fatalf("counters = %d msgs / %d bytes", net.Sent, net.Bytes)
+	}
+}
+
+func TestDupDoublesDeliveries(t *testing.T) {
+	eng := sim.New()
+	net := New(eng, fixedLatency(time.Millisecond), rng.New(6))
+	net.SetImpairments(Impairments{DupProb: 0.5})
+	delivered := 0
+	net.Register(1, func(Message) { delivered++ })
+	const sent = 1000
+	for i := 0; i < sent; i++ {
+		net.Send(Message{To: 1, Kind: "ping", Size: 8})
+	}
+	eng.Run(0)
+	if delivered != sent+net.Duplicated {
+		t.Fatalf("delivered %d != sent %d + duplicated %d", delivered, sent, net.Duplicated)
+	}
+	if net.Duplicated < 400 || net.Duplicated > 600 {
+		t.Fatalf("duplicated = %d of %d at p=0.5", net.Duplicated, sent)
+	}
+}
+
+func TestBroadcastImpairsPerDelivery(t *testing.T) {
+	eng := sim.New()
+	net := New(eng, fixedLatency(time.Millisecond), rng.New(7))
+	net.SetImpairments(Impairments{DropProb: 0.5})
+	delivered := 0
+	tos := make([]NodeID, 100)
+	for i := range tos {
+		tos[i] = NodeID(i + 1)
+		net.Register(tos[i], func(Message) { delivered++ })
+	}
+	net.Broadcast(0, tos, "invite", nil, 64)
+	eng.Run(0)
+	if net.Sent != 1 {
+		t.Fatalf("sent = %d, want 1", net.Sent)
+	}
+	if delivered+net.Dropped != 100 {
+		t.Fatalf("delivered %d + dropped %d != 100", delivered, net.Dropped)
+	}
+	if net.Dropped == 0 || net.Dropped == 100 {
+		t.Fatalf("dropped = %d, want a strict subset lost", net.Dropped)
+	}
+}
+
+// TestZeroImpairmentsPreserveDrawSequence pins the compatibility contract:
+// a network with the zero Impairments must schedule byte-identical
+// deliveries to one that never heard of the feature, because the drop/dup
+// guards may not touch the jitter rng stream.
+func TestZeroImpairmentsPreserveDrawSequence(t *testing.T) {
+	run := func(set bool) []time.Duration {
+		eng := sim.New()
+		lat := LatencyModel{Base: time.Millisecond, Jitter: time.Millisecond}
+		net := New(eng, lat, rng.New(9))
+		if set {
+			net.SetImpairments(Impairments{})
+		}
+		var times []time.Duration
+		net.Register(1, func(Message) { times = append(times, eng.Now()) })
+		for i := 0; i < 50; i++ {
+			net.Send(Message{To: 1, Kind: "ping", Size: 64})
+		}
+		eng.Run(0)
+		return times
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSetImpairmentsRejectsInvalid(t *testing.T) {
+	eng := sim.New()
+	net := New(eng, fixedLatency(time.Millisecond), rng.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid impairments accepted")
+		}
+	}()
+	net.SetImpairments(Impairments{DropProb: 2})
+}

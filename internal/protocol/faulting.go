@@ -1,0 +1,72 @@
+package protocol
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dc"
+	"repro/internal/trace"
+)
+
+// This file is the protocol cluster's fault surface: the hooks a fault
+// injector (internal/faults) uses to crash and repair servers, to decide
+// wake outcomes, and to observe placements. The protocol package stays
+// ignorant of fault schedules and probabilities — it only knows how to
+// degrade gracefully when the hardware misbehaves.
+
+// WakeGate decides the fate of a wake command at power-on time: whether the
+// server actually comes up and, when it does, how much extra latency the
+// power-on adds beyond the message delivery. A nil gate (the default) means
+// every wake succeeds instantly, exactly the pre-fault behavior.
+type WakeGate interface {
+	WakeOutcome(serverID int) (ok bool, delay time.Duration)
+}
+
+// SetWakeGate installs the wake gate. Call before running the engine.
+func (c *Cluster) SetWakeGate(g WakeGate) { c.gate = g }
+
+// SetOnPlaced installs a hook invoked after every successful assignment
+// (VM ID and virtual time). Fault injectors use it to close re-placement
+// downtime windows; nil (the default) costs nothing.
+func (c *Cluster) SetOnPlaced(fn func(vmID int, now time.Duration)) { c.onPlaced = fn }
+
+// CrashServer fails the server immediately: hosted VMs are evicted and
+// returned (the injector decides whether they are killed or re-enter
+// placement), and all protocol state touching the server or its VMs —
+// pending wake reservations, in-flight migrations — is discarded. Rounds
+// awaiting the server's reply are left to RoundTimeout or the silent-reject
+// window. Crashing an already-failed server returns nil.
+func (c *Cluster) CrashServer(id int) []*trace.VM {
+	s := c.dc.Servers[id]
+	if s.State() == dc.Failed {
+		return nil
+	}
+	evicted, err := c.dc.Fail(s, c.eng.Now())
+	if err != nil {
+		panic(fmt.Sprintf("protocol: crashing server %d: %v", id, err))
+	}
+	delete(c.pendingWakes, id)
+	for _, vm := range evicted {
+		delete(c.inflight, vm.ID)
+		delete(c.pendingMig, vm.ID)
+	}
+	return evicted
+}
+
+// RecoverServer repairs a failed server back to Hibernated, where normal
+// placement can wake it again. Recovering a non-failed server is a no-op
+// (it already recovered, or never crashed).
+func (c *Cluster) RecoverServer(id int) {
+	s := c.dc.Servers[id]
+	if s.State() != dc.Failed {
+		return
+	}
+	if err := c.dc.Recover(s, c.eng.Now()); err != nil {
+		panic(fmt.Sprintf("protocol: recovering server %d: %v", id, err))
+	}
+}
+
+// ReplaceVM re-enters an evacuated VM into placement through the normal
+// invitation procedure — the re-placement storm after a crash is ordinary
+// ecoCloud assignment, just bursty.
+func (c *Cluster) ReplaceVM(vm *trace.VM) { c.PlaceVM(vm) }

@@ -92,6 +92,30 @@ type Config struct {
 
 	Latency netsim.LatencyModel
 
+	// Impairments makes the fabric lossy (independent per-delivery drop and
+	// duplication, see netsim.Impairments). The zero value is a perfect
+	// fabric and changes nothing.
+	Impairments netsim.Impairments
+
+	// Fault tolerance. All three default to zero (disabled): on a perfect
+	// fabric with no crash injection nothing is ever lost and the watchdogs
+	// would never fire, so the protocol behaves exactly as before.
+	//
+	// RoundTimeout closes a reply-counted round after a deadline even when
+	// replies are missing (lost on the wire, or the invitee crashed). It is
+	// required whenever replies can be lost and SilentReject is off;
+	// otherwise the round waits forever and its VM never places.
+	RoundTimeout time.Duration
+	// AssignRetry arms a manager-side watchdog per placement attempt: if the
+	// VM is still not hosted after this delay (assign lost, wake failed, or
+	// the assignee crashed) and has not expired, the manager runs a fresh
+	// round.
+	AssignRetry time.Duration
+	// MigTimeout expires a migration that never cut over (lost MIGREQ,
+	// MIGRATE or TRANSFER, or a crashed participant), releasing the VM for
+	// future scans.
+	MigTimeout time.Duration
+
 	// Message sizes in bytes (headers + payload), for the bandwidth share.
 	InviteSize, ReplySize, AssignSize int
 
@@ -140,6 +164,13 @@ func (c Config) Validate() error {
 		return fmt.Errorf("protocol: silent reject needs a positive DecisionWindow")
 	case c.InviteSize <= 0 || c.ReplySize <= 0 || c.AssignSize <= 0:
 		return fmt.Errorf("protocol: non-positive message size")
+	case c.RoundTimeout < 0 || c.AssignRetry < 0 || c.MigTimeout < 0:
+		return fmt.Errorf("protocol: negative fault-tolerance timeout")
+	case c.Impairments.DropProb > 0 && !c.SilentReject && c.RoundTimeout <= 0:
+		return fmt.Errorf("protocol: a lossy fabric with reply counting needs a RoundTimeout")
+	}
+	if err := c.Impairments.Validate(); err != nil {
+		return err
 	}
 	if c.EnableMigration {
 		switch {
@@ -171,6 +202,14 @@ type Stats struct {
 	MigrationsLow, MigrationsHigh int
 	MigrationLatency              time.Duration // summed MIGREQ->placed
 	MigrationsAborted             int           // no destination found
+
+	// Fault-path counters. All stay zero on a perfect fabric without
+	// crash injection.
+	WakeReuses        int // wake+assigns piggybacked on a wake already in flight
+	WakeFailures      int // wake commands the hardware never honored
+	AssignsLost       int // assigns that arrived at a crashed server
+	Replacements      int // watchdog-driven re-placement rounds
+	MigrationsExpired int // migrations torn down by MigTimeout
 }
 
 // MeanLatency returns the mean placement latency (invite to placed).
@@ -179,6 +218,16 @@ func (s Stats) MeanLatency() time.Duration {
 		return 0
 	}
 	return s.TotalLatency / time.Duration(s.Placements)
+}
+
+// MeanMigrationLatency returns the mean MIGREQ-to-cutover latency over
+// completed migrations, or 0 when none completed.
+func (s Stats) MeanMigrationLatency() time.Duration {
+	n := s.MigrationsLow + s.MigrationsHigh
+	if n == 0 {
+		return 0
+	}
+	return s.MigrationLatency / time.Duration(n)
 }
 
 // message payloads
@@ -228,6 +277,7 @@ type round struct {
 	expected int
 	replies  int
 	accepts  []int
+	seen     map[int]bool // replied server IDs, so duplicated replies count once
 	closed   bool
 	decide   func(*round)
 }
@@ -256,8 +306,28 @@ type Cluster struct {
 	// inflight marks VMs with a migration in progress so the periodic scan
 	// never double-migrates them.
 	inflight map[int]bool
+	// pendingMig is the manager's record of open migration procedures
+	// (VM ID -> MIGREQ arrival time): it dedups duplicated MIGREQs and is
+	// dropped cleanly when a migration aborts, expires or completes.
+	pendingMig map[int]time.Duration
+	// pendingWakes tracks hibernated servers with a wake+assign in flight.
+	// A pending server still reports Hibernated, so without this record a
+	// second placement deciding inside the delivery window would wake it
+	// "again" (double-counted Wakes) or, worse, wake a second server for
+	// load the first could carry.
+	pendingWakes map[int]*pendingWake
+
+	gate     WakeGate
+	onPlaced func(vmID int, now time.Duration)
 
 	Stats Stats
+}
+
+// pendingWake is the manager's book entry for one in-flight wake: how much
+// demand has been promised to the server and by how many assignments.
+type pendingWake struct {
+	reserved float64
+	count    int
 }
 
 // New builds a protocol cluster over the given fleet. Servers start
@@ -273,17 +343,20 @@ func New(cfg Config, specs []dc.Spec, seed uint64) (*Cluster, error) {
 	master := rng.New(seed)
 	eng := sim.New()
 	c := &Cluster{
-		cfg:      cfg,
-		fa:       fa,
-		eng:      eng,
-		net:      netsim.New(eng, cfg.Latency, master.Split("net")),
-		dc:       dc.New(specs),
-		mgr:      master.Split("manager"),
-		master:   master,
-		servers:  make(map[int]*rng.Source),
-		rounds:   make(map[int]*round),
-		inflight: make(map[int]bool),
+		cfg:          cfg,
+		fa:           fa,
+		eng:          eng,
+		net:          netsim.New(eng, cfg.Latency, master.Split("net")),
+		dc:           dc.New(specs),
+		mgr:          master.Split("manager"),
+		master:       master,
+		servers:      make(map[int]*rng.Source),
+		rounds:       make(map[int]*round),
+		inflight:     make(map[int]bool),
+		pendingMig:   make(map[int]time.Duration),
+		pendingWakes: make(map[int]*pendingWake),
 	}
+	c.net.SetImpairments(cfg.Impairments)
 	c.net.Register(managerNode, c.onManagerMessage)
 	for _, s := range c.dc.Servers {
 		s := s
@@ -333,6 +406,9 @@ func (c *Cluster) serverSrc(id int) *rng.Source {
 func (c *Cluster) PlaceVM(vm *trace.VM) {
 	now := c.eng.Now()
 	start := now
+	if c.cfg.AssignRetry > 0 {
+		c.eng.After(c.cfg.AssignRetry, "assign-retry", func(*sim.Engine) { c.retryPlace(vm) })
+	}
 	opened := c.openRound(c.fa.Ta, vm.DemandAt(now), -1, func(r *round) {
 		if len(r.accepts) > 0 {
 			id := r.accepts[c.mgr.Intn(len(r.accepts))]
@@ -348,6 +424,21 @@ func (c *Cluster) PlaceVM(vm *trace.VM) {
 		// Nobody awake: wake a server directly.
 		c.wakeAssign(vm, now)
 	}
+}
+
+// retryPlace is the AssignRetry watchdog body: re-run placement for a VM
+// whose assignment never landed — the assign was dropped, the wake failed,
+// or the assignee crashed with the VM in flight.
+func (c *Cluster) retryPlace(vm *trace.VM) {
+	if _, ok := c.dc.HostOf(vm.ID); ok {
+		return
+	}
+	if c.eng.Now() >= vm.End {
+		return // expired while unplaced; the fault accounting owns the loss
+	}
+	c.Stats.Replacements++
+	c.cfg.Obs.Count("protocol.replacements", 1)
+	c.PlaceVM(vm)
 }
 
 // openRound broadcasts one invitation under the effective threshold ta,
@@ -370,7 +461,7 @@ func (c *Cluster) openRound(ta, demand float64, excludeID int, decide func(*roun
 		return false
 	}
 	c.nextRound++
-	r := &round{id: c.nextRound, start: now, expected: len(targets), decide: decide}
+	r := &round{id: c.nextRound, start: now, expected: len(targets), seen: make(map[int]bool), decide: decide}
 	c.rounds[r.id] = r
 	nodes := make([]netsim.NodeID, len(targets))
 	for i, s := range targets {
@@ -380,6 +471,12 @@ func (c *Cluster) openRound(ta, demand float64, excludeID int, decide func(*roun
 		inviteReq{roundID: r.id, demand: demand, ta: ta}, c.cfg.InviteSize)
 	if c.cfg.SilentReject {
 		c.eng.After(c.cfg.DecisionWindow, "decision-window", func(*sim.Engine) {
+			c.closeRound(r)
+		})
+	} else if c.cfg.RoundTimeout > 0 {
+		// Reply counting hangs if an invitee crashed or its reply was lost;
+		// the timeout decides on whatever arrived.
+		c.eng.After(c.cfg.RoundTimeout, "round-timeout", func(*sim.Engine) {
 			c.closeRound(r)
 		})
 	}
@@ -426,6 +523,9 @@ func (c *Cluster) onServerMessage(s *dc.Server, m netsim.Message) {
 	now := c.eng.Now()
 	switch m.Kind {
 	case "invite":
+		if s.State() == dc.Failed {
+			return // crashed after the invitation went out: dead servers are silent
+		}
 		req := m.Payload.(inviteReq)
 		accept := c.serverAccepts(s, now, req.demand, req.ta)
 		if accept || !c.cfg.SilentReject {
@@ -437,25 +537,31 @@ func (c *Cluster) onServerMessage(s *dc.Server, m netsim.Message) {
 		}
 	case "assign":
 		req := m.Payload.(assignReq)
+		if _, ok := c.dc.HostOf(req.vm.ID); ok {
+			return // a duplicated assign, or a retry already landed the VM
+		}
 		if req.wake && s.State() == dc.Hibernated {
-			// Idempotent: two rounds deciding within the same latency window
-			// can both pick this server while it still looks hibernated to
-			// the manager; the second wake command is a no-op.
-			if err := c.dc.Activate(s, now); err != nil {
-				panic(fmt.Sprintf("protocol: wake-assign on server %d: %v", s.ID, err))
+			ok, delay := c.wakeOutcome(s.ID)
+			if !ok {
+				c.wakeFailed(s.ID)
+				return // the AssignRetry watchdog re-places the VM
+			}
+			if delay > 0 {
+				c.eng.After(delay, "wake-delay", func(*sim.Engine) { c.finishAssign(s, req) })
+				return
 			}
 		}
-		if err := c.dc.Place(req.vm, s); err != nil {
-			panic(fmt.Sprintf("protocol: placing VM %d on server %d: %v", req.vm.ID, s.ID, err))
-		}
-		c.recordPlacement(req.start, now)
+		c.finishAssign(s, req)
 	case "migrate":
 		// Manager picked a destination for one of this server's VMs: start
 		// the live transfer. The VM keeps running here until cutover (the
 		// paper: migrations are asynchronous and smooth).
 		order := m.Payload.(migrateOrder)
-		if _, ok := c.dc.HostOf(order.vmID); !ok {
-			delete(c.inflight, order.vmID) // VM departed while the round was in flight
+		if host, ok := c.dc.HostOf(order.vmID); !ok || host != s {
+			// VM departed while the round was in flight, or a crash already
+			// re-placed it elsewhere: this server has nothing to transfer.
+			delete(c.inflight, order.vmID)
+			delete(c.pendingMig, order.vmID)
 			return
 		}
 		c.net.Send(netsim.Message{
@@ -468,12 +574,24 @@ func (c *Cluster) onServerMessage(s *dc.Server, m netsim.Message) {
 		delete(c.inflight, tr.vmID)
 		host, ok := c.dc.HostOf(tr.vmID)
 		if !ok || host == s {
-			return // departed mid-copy, or already here
+			delete(c.pendingMig, tr.vmID)
+			return // departed mid-copy, or already here (duplicated transfer)
+		}
+		if s.State() == dc.Failed {
+			// Destination crashed mid-copy: the VM keeps running at the
+			// source, the migration is simply lost.
+			c.abortMigration(tr.vmID)
+			return
 		}
 		if s.State() == dc.Hibernated {
 			// Defensive cutover: the wake command races the (much slower)
 			// transfer; arriving first is overwhelmingly likely but not
-			// guaranteed under jitter.
+			// guaranteed under jitter — and the wake may have failed outright.
+			if ok, _ := c.wakeOutcome(s.ID); !ok {
+				c.wakeFailed(s.ID)
+				c.abortMigration(tr.vmID)
+				return
+			}
 			if err := c.dc.Activate(s, now); err != nil {
 				panic(fmt.Sprintf("protocol: cutover wake of server %d: %v", s.ID, err))
 			}
@@ -490,11 +608,29 @@ func (c *Cluster) onServerMessage(s *dc.Server, m netsim.Message) {
 			c.cfg.Obs.Count("protocol.migrations_low", 1)
 		}
 		c.Stats.MigrationLatency += now - tr.start
+		delete(c.pendingMig, tr.vmID)
 	case "wake":
-		if s.State() == dc.Hibernated {
-			if err := c.dc.Activate(s, now); err != nil {
-				panic(fmt.Sprintf("protocol: waking server %d: %v", s.ID, err))
-			}
+		if s.State() != dc.Hibernated {
+			return // already up, crashed, or a duplicated wake
+		}
+		ok, delay := c.wakeOutcome(s.ID)
+		if !ok {
+			c.wakeFailed(s.ID)
+			return // the cutover aborts when it finds the destination down
+		}
+		if delay > 0 {
+			c.eng.After(delay, "wake-delay", func(*sim.Engine) {
+				if s.State() != dc.Hibernated {
+					return
+				}
+				if err := c.dc.Activate(s, c.eng.Now()); err != nil {
+					panic(fmt.Sprintf("protocol: waking server %d: %v", s.ID, err))
+				}
+			})
+			return
+		}
+		if err := c.dc.Activate(s, now); err != nil {
+			panic(fmt.Sprintf("protocol: waking server %d: %v", s.ID, err))
 		}
 	default:
 		panic(fmt.Sprintf("protocol: server %d got unexpected %q", s.ID, m.Kind))
@@ -533,6 +669,10 @@ func (c *Cluster) onManagerMessage(m netsim.Message) {
 		if !ok || r.closed {
 			return // late reply after a silent-reject window closed: ignored
 		}
+		if r.seen[rep.serverID] {
+			return // duplicated reply counts once
+		}
+		r.seen[rep.serverID] = true
 		r.replies++
 		if rep.accept {
 			r.accepts = append(r.accepts, rep.serverID)
@@ -559,15 +699,27 @@ func (c *Cluster) closeRound(r *round) {
 
 // wakeAssign picks a hibernated server that fits the VM and sends it a
 // combined wake+assign ("the manager wakes up an inactive server and
-// requests it to run the new VM", §II). With nothing to wake, the VM lands
+// requests it to run the new VM", §II). Servers with a wake already in
+// flight still report Hibernated, so they are tracked in pendingWakes and
+// never woken twice: a second placement deciding inside the delivery window
+// piggybacks on the in-flight wake if the reserved demand leaves room, and
+// only wakes a fresh server otherwise. With nothing to wake, the VM lands
 // on the least-utilized active server and a saturation event is recorded.
 func (c *Cluster) wakeAssign(vm *trace.VM, start time.Duration) {
 	now := c.eng.Now()
 	demand := vm.DemandAt(now)
-	var fitting []*dc.Server
+	var fitting, reusable, pending []*dc.Server
 	var largest *dc.Server
 	for _, s := range c.dc.Servers {
 		if s.State() != dc.Hibernated {
+			delete(c.pendingWakes, s.ID) // lazy cleanup of stale entries
+			continue
+		}
+		if pw, ok := c.pendingWakes[s.ID]; ok {
+			pending = append(pending, s)
+			if pw.reserved+demand <= c.fa.Ta*s.CapacityMHz() {
+				reusable = append(reusable, s)
+			}
 			continue
 		}
 		if largest == nil || s.CapacityMHz() > largest.CapacityMHz() {
@@ -578,15 +730,39 @@ func (c *Cluster) wakeAssign(vm *trace.VM, start time.Duration) {
 		}
 	}
 	var wake *dc.Server
+	fresh := false
 	switch {
 	case len(fitting) > 0:
-		wake = fitting[c.mgr.Intn(len(fitting))]
+		// A fresh server that fits under Ta.
+		wake, fresh = fitting[c.mgr.Intn(len(fitting))], true
+	case len(reusable) > 0:
+		// No fresh fit, but an in-flight wake has reserved room to spare.
+		wake = reusable[c.mgr.Intn(len(reusable))]
 	case largest != nil:
-		wake = largest
+		// Nothing fits anywhere: the largest fresh server limits the damage.
+		wake, fresh = largest, true
+	case len(pending) > 0:
+		// Only pending wakes remain: overcommit one rather than piling onto
+		// an already-running server — the machine is coming up empty anyway.
+		wake = pending[c.mgr.Intn(len(pending))]
+		c.Stats.Saturations++
+		c.cfg.Obs.Count("protocol.saturations", 1)
 	}
 	if wake != nil {
-		c.Stats.Wakes++
-		c.cfg.Obs.Count("protocol.wakeups", 1)
+		pw := c.pendingWakes[wake.ID]
+		if pw == nil {
+			pw = &pendingWake{}
+			c.pendingWakes[wake.ID] = pw
+		}
+		pw.reserved += demand
+		pw.count++
+		if fresh {
+			c.Stats.Wakes++
+			c.cfg.Obs.Count("protocol.wakeups", 1)
+		} else {
+			c.Stats.WakeReuses++
+			c.cfg.Obs.Count("protocol.wake_reuses", 1)
+		}
 		c.net.Send(netsim.Message{
 			From: managerNode, To: serverNode(wake.ID), Kind: "assign",
 			Payload: assignReq{vm: vm, wake: true, start: start}, Size: c.cfg.AssignSize,
@@ -613,6 +789,65 @@ func (c *Cluster) wakeAssign(vm *trace.VM, start time.Duration) {
 		From: managerNode, To: serverNode(best.ID), Kind: "assign",
 		Payload: assignReq{vm: vm, start: start}, Size: c.cfg.AssignSize,
 	})
+}
+
+// finishAssign runs an assignment once its server is up — immediately in
+// the common case, after the power-on delay when the wake gate imposed one.
+// Every early return re-checks the world because it may have changed during
+// that delay.
+func (c *Cluster) finishAssign(s *dc.Server, req assignReq) {
+	now := c.eng.Now()
+	if _, ok := c.dc.HostOf(req.vm.ID); ok {
+		c.completeWake(s.ID)
+		return // a duplicate or a retry landed the VM first
+	}
+	if s.State() == dc.Failed {
+		// Crashed with the assignment in flight: the VM is running nowhere;
+		// the AssignRetry watchdog re-places it. pendingWakes was already
+		// cleared by the crash.
+		c.Stats.AssignsLost++
+		c.cfg.Obs.Count("protocol.assigns_lost", 1)
+		return
+	}
+	if now >= req.vm.End {
+		c.completeWake(s.ID)
+		return // the VM expired while the wake dragged on
+	}
+	if s.State() == dc.Hibernated {
+		if err := c.dc.Activate(s, now); err != nil {
+			panic(fmt.Sprintf("protocol: wake-assign on server %d: %v", s.ID, err))
+		}
+	}
+	if err := c.dc.Place(req.vm, s); err != nil {
+		panic(fmt.Sprintf("protocol: placing VM %d on server %d: %v", req.vm.ID, s.ID, err))
+	}
+	c.completeWake(s.ID)
+	c.recordPlacement(req.start, now)
+	if c.onPlaced != nil {
+		c.onPlaced(req.vm.ID, now)
+	}
+}
+
+// completeWake closes the pending-wake book entry once an assignment lands
+// (or becomes moot) on the server.
+func (c *Cluster) completeWake(id int) { delete(c.pendingWakes, id) }
+
+// wakeFailed records a wake command the hardware never honored and releases
+// the server's pending-wake reservation so future placements treat it as
+// fresh again.
+func (c *Cluster) wakeFailed(id int) {
+	delete(c.pendingWakes, id)
+	c.Stats.WakeFailures++
+	c.cfg.Obs.Count("protocol.wake_failures", 1)
+}
+
+// wakeOutcome consults the wake gate; without one, wakes always succeed
+// instantly.
+func (c *Cluster) wakeOutcome(id int) (bool, time.Duration) {
+	if c.gate == nil {
+		return true, 0
+	}
+	return c.gate.WakeOutcome(id)
 }
 
 // recordPlacement updates latency statistics when an assign lands: the
@@ -706,6 +941,10 @@ func (c *Cluster) sendMigReq(s *dc.Server, now time.Duration, u float64, kind st
 		vm = candidates[c.serverSrc(s.ID).Intn(len(candidates))]
 	}
 	c.inflight[vm.ID] = true
+	if c.cfg.MigTimeout > 0 {
+		vmID := vm.ID
+		c.eng.After(c.cfg.MigTimeout, "mig-timeout", func(*sim.Engine) { c.expireMigration(vmID) })
+	}
 	c.net.Send(netsim.Message{
 		From: serverNode(s.ID), To: managerNode, Kind: "migreq",
 		Payload: migReq{serverID: s.ID, vmID: vm.ID, kind: kind, u: u},
@@ -713,10 +952,35 @@ func (c *Cluster) sendMigReq(s *dc.Server, now time.Duration, u float64, kind st
 	})
 }
 
+// abortMigration drops an open migration cleanly: the VM keeps running at
+// its source, and its pending start never pollutes the latency sum.
+func (c *Cluster) abortMigration(vmID int) {
+	delete(c.inflight, vmID)
+	delete(c.pendingMig, vmID)
+	c.Stats.MigrationsAborted++
+	c.cfg.Obs.Count("protocol.migrations_aborted", 1)
+}
+
+// expireMigration is the MigTimeout watchdog body: a migration still marked
+// in flight after the deadline lost a message (or a participant) and is
+// torn down so the scan can try again later.
+func (c *Cluster) expireMigration(vmID int) {
+	if !c.inflight[vmID] {
+		return // completed, aborted or crashed away in time
+	}
+	delete(c.inflight, vmID)
+	delete(c.pendingMig, vmID)
+	c.Stats.MigrationsExpired++
+	c.cfg.Obs.Count("protocol.migrations_expired", 1)
+}
+
 // onMigReq is the manager's side of the migration procedure: a tightened
 // invitation round excluding the source; high migrations may wake a server,
 // low migrations never do (§II's two differences).
 func (c *Cluster) onMigReq(req migReq) {
+	if _, open := c.pendingMig[req.vmID]; open {
+		return // duplicated MIGREQ: a procedure is already running for this VM
+	}
 	host, ok := c.dc.HostOf(req.vmID)
 	if !ok || host.ID != req.serverID {
 		delete(c.inflight, req.vmID) // VM departed or already moved
@@ -728,6 +992,7 @@ func (c *Cluster) onMigReq(req migReq) {
 		delete(c.inflight, req.vmID)
 		return
 	}
+	c.pendingMig[req.vmID] = now
 	demand := vm.DemandAt(now)
 	ta := c.fa.Ta
 	if req.kind == "high" {
@@ -756,9 +1021,7 @@ func (c *Cluster) onMigReq(req migReq) {
 		}
 		// Low migration with no destination, or nothing to wake: the VM is
 		// not migrated at all (§II).
-		c.Stats.MigrationsAborted++
-		c.cfg.Obs.Count("protocol.migrations_aborted", 1)
-		delete(c.inflight, req.vmID)
+		c.abortMigration(req.vmID)
 	}
 	opened := c.openRound(ta, demand, req.serverID, func(r *round) {
 		if len(r.accepts) > 0 {
