@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test bench bench-scale figures faults race cover clean
+.PHONY: all build vet lint test bench bench-scale parscale figures faults race cover clean
 
 all: build vet lint test
 
@@ -33,6 +33,13 @@ bench:
 # writes out/BENCH_demand_kernel.json and verifies the runs are bit-identical.
 bench-scale:
 	$(GO) run ./cmd/ecobench -demand-bench -out out
+
+# Parallel-engine speedup curves (2,000 -> 10,000 servers, workers 0 -> 8);
+# writes out/BENCH_parallel_scale.json and verifies every pooled run is
+# bit-identical to the sequential baseline. See DESIGN.md "Parallel
+# execution & determinism".
+parscale:
+	$(GO) run ./cmd/ecobench -par-bench -out out
 
 # Regenerate every figure CSV at paper scale into ./out, alongside the run
 # manifest (out/run.json) and the JSONL event journal (out/journal.jsonl).

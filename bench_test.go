@@ -308,11 +308,12 @@ func BenchmarkAblationNoCooldown(b *testing.B) {
 	ablationDaily(b, func(o *experiments.DailyOptions) { o.Eco.Cooldown = 0 })
 }
 
-// BenchmarkAblationParallelInvitation fans the invitation round's
-// utilization reads across GOMAXPROCS (bit-identical results; this measures
-// the wall-clock effect at bench scale).
-func BenchmarkAblationParallelInvitation(b *testing.B) {
-	ablationDaily(b, func(o *experiments.DailyOptions) { o.Eco.Parallel = true })
+// BenchmarkAblationParallelControlRound routes the control round (demand
+// prewarm, overload observation, invitation fan-outs) through a 4-worker
+// internal/par pool (bit-identical results; this measures the wall-clock
+// effect at bench scale).
+func BenchmarkAblationParallelControlRound(b *testing.B) {
+	ablationDaily(b, func(o *experiments.DailyOptions) { o.Workers = 4 })
 }
 
 // BenchmarkInvitationRound isolates one assignment invitation round on a

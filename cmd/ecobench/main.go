@@ -41,10 +41,12 @@ func main() {
 		markdown  = flag.String("markdown", "", "also assemble all figures into one Markdown report at this path")
 		htmlPath  = flag.String("html", "", "also assemble all figures into one self-contained HTML report (inline SVG charts)")
 		demandB   = flag.Bool("demand-bench", false, "run the demand-kernel scalability benchmark (400->4,000 servers) and write BENCH_demand_kernel.json, then exit")
+		parB      = flag.Bool("par-bench", false, "run the parallel-engine scalability benchmark (2,000->10,000 servers, workers 0->8) and write BENCH_parallel_scale.json, then exit")
 	)
 	fs := flag.CommandLine
 	fs.Uint64Var(&rc.Seed, "seed", rc.Seed, "master seed")
 	fs.DurationVar(&rc.Horizon, "horizon", rc.Horizon, "horizon override (unset: each experiment's own default)")
+	fs.IntVar(&rc.Workers, "workers", rc.Workers, "control-round worker count (0 = sequential; any value is bit-identical)")
 	cli.BindEco(fs, &eco)
 	obsFlags.Bind(fs)
 	flag.Parse()
@@ -72,6 +74,13 @@ func main() {
 	}
 	if *demandB {
 		if err := runDemandBench(*outDir, rc.Seed); err != nil {
+			fmt.Fprintln(os.Stderr, "ecobench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *parB {
+		if err := runParBench(*outDir, rc.Seed); err != nil {
 			fmt.Fprintln(os.Stderr, "ecobench:", err)
 			os.Exit(1)
 		}

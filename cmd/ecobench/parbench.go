@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+)
+
+// The parallel-engine scalability study lives next to the demand-kernel one
+// and for the same reason: it measures the simulator, not the paper, and
+// wall-clock timing is banned from internal packages by the determinism
+// contract. Each fleet size runs the parscale steady-band cell once per
+// worker count, checks every pooled run bit-identical to the sequential
+// baseline, and records the wall-clock speedup curve. Results land in
+// BENCH_parallel_scale.json under -out; gomaxprocs is recorded alongside so
+// a reader on a single-core box knows why a curve is flat.
+
+// parBenchSizes extends the footnote-1 sweep into the territory where the
+// control round dominates; parBenchWorkers is the speedup curve's x axis.
+var (
+	parBenchSizes   = []int{2000, 10_000}
+	parBenchWorkers = []int{0, 1, 2, 4, 8}
+)
+
+type parBenchRow struct {
+	Servers   int     `json:"servers"`
+	VMs       int     `json:"vms"`
+	Workers   int     `json:"workers"`
+	Seconds   float64 `json:"wall_s"`
+	Speedup   float64 `json:"speedup_vs_sequential"`
+	Identical bool    `json:"bit_identical_to_sequential"`
+	EnergyKWh float64 `json:"energy_kwh"`
+}
+
+type parBenchReport struct {
+	Seed       uint64        `json:"seed"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []parBenchRow `json:"results"`
+}
+
+func runParBench(outDir string, seed uint64) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	opts := experiments.DefaultParScaleOptions()
+	opts.Seed = seed
+	opts.Horizon = time.Hour
+	report := parBenchReport{Seed: seed, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, servers := range parBenchSizes {
+		var baseline *cluster.Result
+		var baselineSec float64
+		for _, workers := range parBenchWorkers {
+			cfg, pol, err := experiments.ParScaleCell(opts, servers, workers)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			res, err := cluster.Run(cfg, pol)
+			if err != nil {
+				return fmt.Errorf("par-bench: %d servers, %d workers: %w", servers, workers, err)
+			}
+			sec := time.Since(start).Seconds()
+			row := parBenchRow{
+				Servers:   servers,
+				VMs:       servers * opts.VMsPerServer,
+				Workers:   workers,
+				Seconds:   sec,
+				EnergyKWh: res.EnergyKWh,
+			}
+			if baseline == nil {
+				baseline, baselineSec = res, sec
+				row.Speedup, row.Identical = 1, true
+			} else {
+				if err := demandBenchIdentical(res, baseline); err != nil {
+					return fmt.Errorf("par-bench: %d servers: Workers=%d diverges from sequential: %w",
+						servers, workers, err)
+				}
+				row.Speedup, row.Identical = baselineSec/sec, true
+			}
+			report.Results = append(report.Results, row)
+			fmt.Printf("== par-bench %5d servers workers=%d: %.3fs speedup %.2fx bit-identical\n",
+				servers, workers, row.Seconds, row.Speedup)
+		}
+	}
+	path := filepath.Join(outDir, "BENCH_parallel_scale.json")
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -65,6 +65,8 @@ func runFaults(bound experiments.RunConfig, obsFlags cli.ObsFlags, outDir string
 			rc.Horizon = bound.Horizon
 		case "seed":
 			rc.Seed = bound.Seed
+		case "workers":
+			rc.Workers = bound.Workers
 		}
 	})
 	scope, err := obsFlags.Start("faults", rc, rc.Seed, outDir, nil)
@@ -232,6 +234,7 @@ func runPlanetLab(opts experiments.DailyOptions, dir string, refMHz float64) (*e
 		SampleInterval:   opts.Sample,
 		PowerModel:       opts.Power,
 		RecordServerUtil: true,
+		Workers:          opts.Workers,
 		Obs:              opts.Obs,
 	}, pol)
 	if err != nil {

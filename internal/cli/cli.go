@@ -23,6 +23,7 @@ func BindRunConfig(fs *flag.FlagSet, rc *experiments.RunConfig) {
 	fs.IntVar(&rc.NumVMs, "vms", rc.NumVMs, "number of VMs in the workload")
 	fs.DurationVar(&rc.Horizon, "horizon", rc.Horizon, "simulated time")
 	fs.Uint64Var(&rc.Seed, "seed", rc.Seed, "master seed")
+	fs.IntVar(&rc.Workers, "workers", rc.Workers, "control-round worker count (0 = sequential; any value is bit-identical)")
 }
 
 // BindEco registers the ecoCloud policy parameters against cfg, defaulting

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dc"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -44,6 +45,17 @@ type RunConfig struct {
 
 	PowerModel dc.PowerModel
 	Initial    InitialPlacement
+
+	// Workers selects the execution engine for the per-server work of each
+	// control round (demand refill, overload observation, checked-mode
+	// audits, utilization sampling). 0 — the default — is the pristine
+	// sequential path. N >= 1 routes that work through an internal/par pool
+	// with N workers; results are bit-identical to sequential at every
+	// worker count (see DESIGN.md "Parallel execution & determinism"), so
+	// the only observable difference is wall-clock time. Workers=1 runs the
+	// par code path inline, which is what the differential tests pin against
+	// both Workers=0 and Workers=8.
+	Workers int
 
 	// RecordServerUtil stores a per-server utilization sample matrix
 	// (Figs. 6 and 12); costs Samples×Servers float64s.
@@ -89,6 +101,8 @@ func (c RunConfig) Validate() error {
 		return fmt.Errorf("cluster: SampleInterval = %v", c.SampleInterval)
 	case c.PowerModel.PeakW <= 0:
 		return fmt.Errorf("cluster: power model peak = %v", c.PowerModel.PeakW)
+	case c.Workers < 0:
+		return fmt.Errorf("cluster: Workers = %d", c.Workers)
 	}
 	return nil
 }
@@ -207,6 +221,17 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 	eng := sim.New()
 	eng.SetRecorder(cfg.Obs)
 
+	// Fork-join pool for the per-server work of each control round. nil when
+	// Workers is 0, which keeps every existing sequential code path (and its
+	// goldens) untouched. The pool lives for the whole run; each tick's
+	// fan-outs join before the tick handler returns, so the engine's
+	// single-threaded execution model is preserved.
+	var pool *par.Pool
+	if cfg.Workers > 0 {
+		pool = par.New(cfg.Workers)
+		defer pool.Close()
+	}
+
 	res := &Result{
 		Policy:                policy.Name(),
 		Horizon:               cfg.Horizon,
@@ -286,7 +311,7 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 		vm := vm
 		if !preplaced[vm.ID] {
 			eng.Schedule(vm.Start, "arrival", func(e *sim.Engine) {
-				policy.OnArrival(Env{Now: e.Now(), DC: d, Rec: rec}, vm)
+				policy.OnArrival(Env{Now: e.Now(), DC: d, Rec: rec, Pool: pool}, vm)
 			})
 		}
 		if vm.End < cfg.Horizon {
@@ -308,6 +333,40 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 		lastActivations, lastHibernation int
 	)
 
+	// obsSlot is one server's share of the overload observation, computed in
+	// parallel (phase A: workers write slot i only) and folded sequentially
+	// in server-index order (phase B), reproducing the sequential loop's
+	// float-operation order exactly. Reused across ticks.
+	type obsSlot struct {
+		active  bool
+		over    bool
+		ramOver bool
+		demand  float64
+		capa    float64
+		n       float64
+	}
+	var slots []obsSlot
+	var demandScratch []float64
+	if pool != nil {
+		slots = make([]obsSlot, len(d.Servers))
+		demandScratch = make([]float64, len(cfg.Workload.VMs))
+	}
+	// totalDemandAt mirrors trace.Set.TotalDemandAt; with a pool the pure
+	// per-VM lookups fan out to workers and the fold stays sequential in
+	// slice order, so the sum is bit-identical.
+	totalDemandAt := func(now time.Duration) float64 {
+		if pool == nil {
+			return cfg.Workload.TotalDemandAt(now)
+		}
+		ws := cfg.Workload.VMs
+		par.For(pool, len(ws), func(i int) { demandScratch[i] = ws[i].DemandAt(now) })
+		sum := 0.0
+		for _, v := range demandScratch {
+			sum += v
+		}
+		return sum
+	}
+
 	// Control tick: let the policy act, then observe. Observing after the
 	// policy mirrors the paper's setup, where servers monitor utilization
 	// every few seconds and request relief immediately: overload that the
@@ -315,34 +374,97 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 	// violation time; what we count is the overload that persists.
 	eng.Every(0, cfg.ControlInterval, "control", func(e *sim.Engine) {
 		now := e.Now()
-		policy.OnControl(Env{Now: now, DC: d, Rec: rec})
+		if pool != nil {
+			// Prewarm: refill every active server's demand aggregate across
+			// the workers so the sequential scans that follow (the policy's
+			// decision loop, the energy integral) run on cache hits. The
+			// warmed value is bit-identical to what a miss would install,
+			// and the warm itself is uncounted, so only the hit/miss split
+			// shifts versus Workers=0 — never a result.
+			par.For(pool, len(d.Servers), func(i int) {
+				if s := d.Servers[i]; s.State() == dc.Active {
+					s.WarmDemandCache(now)
+				}
+			})
+		}
+		policy.OnControl(Env{Now: now, DC: d, Rec: rec, Pool: pool})
 		if d.Checked() {
 			// Structural invariants are verified per mutation in checked
-			// mode; the numeric audit is per control tick.
-			if err := d.CheckRuntime(now); err != nil {
+			// mode; the numeric audit is per control tick — sharded across
+			// the pool when one exists, with the first error in server-index
+			// order reported, like the sequential sweep.
+			if pool != nil {
+				errs := par.Map(pool, len(d.Servers), func(i int) error {
+					return d.CheckServerRuntime(i, now)
+				})
+				for _, err := range errs {
+					if err != nil {
+						panic(fmt.Sprintf("cluster: control tick at %v: %v", now, err))
+					}
+				}
+			} else if err := d.CheckRuntime(now); err != nil {
 				panic(fmt.Sprintf("cluster: control tick at %v: %v", now, err))
 			}
 		}
-		for _, s := range d.Servers {
-			if s.State() != dc.Active {
-				continue
+		if pool != nil {
+			par.For(pool, len(d.Servers), func(i int) {
+				s := d.Servers[i]
+				if s.State() != dc.Active {
+					slots[i] = obsSlot{}
+					return
+				}
+				demand := s.DemandAt(now)
+				capa := s.CapacityMHz()
+				slots[i] = obsSlot{
+					active:  true,
+					over:    demand > capa,
+					ramOver: s.Spec.RAMMB > 0 && s.UsedRAMMB() > s.Spec.RAMMB,
+					demand:  demand,
+					capa:    capa,
+					n:       float64(s.NumVMs()),
+				}
+			})
+			for i := range slots {
+				sl := &slots[i]
+				if !sl.active {
+					continue
+				}
+				res.Episodes.Observe(d.Servers[i].ID, sl.over)
+				vmTicks += sl.n
+				winVMTicks += sl.n
+				if sl.over {
+					vmOverTicks += sl.n
+					winVMOverTicks += sl.n
+					overDemandMHz += sl.demand
+					overCapacityMHz += sl.capa
+					cfg.Obs.Count("cluster.overload_server_ticks", 1)
+				}
+				if sl.ramOver {
+					vmRAMOverTicks += sl.n
+				}
 			}
-			demand := s.DemandAt(now)
-			capa := s.CapacityMHz()
-			over := demand > capa
-			res.Episodes.Observe(s.ID, over)
-			n := float64(s.NumVMs())
-			vmTicks += n
-			winVMTicks += n
-			if over {
-				vmOverTicks += n
-				winVMOverTicks += n
-				overDemandMHz += demand
-				overCapacityMHz += capa
-				cfg.Obs.Count("cluster.overload_server_ticks", 1)
-			}
-			if s.Spec.RAMMB > 0 && s.UsedRAMMB() > s.Spec.RAMMB {
-				vmRAMOverTicks += n
+		} else {
+			for _, s := range d.Servers {
+				if s.State() != dc.Active {
+					continue
+				}
+				demand := s.DemandAt(now)
+				capa := s.CapacityMHz()
+				over := demand > capa
+				res.Episodes.Observe(s.ID, over)
+				n := float64(s.NumVMs())
+				vmTicks += n
+				winVMTicks += n
+				if over {
+					vmOverTicks += n
+					winVMOverTicks += n
+					overDemandMHz += demand
+					overCapacityMHz += capa
+					cfg.Obs.Count("cluster.overload_server_ticks", 1)
+				}
+				if s.Spec.RAMMB > 0 && s.UsedRAMMB() > s.Spec.RAMMB {
+					vmRAMOverTicks += n
+				}
 			}
 		}
 		activeTickSum += float64(d.ActiveCount())
@@ -371,7 +493,7 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 		cfg.Obs.SampleMemory()
 		res.ActiveServers.Add(now, float64(d.ActiveCount()))
 		res.PowerW.Add(now, d.PowerAt(now, cfg.PowerModel))
-		res.OverallLoad.Add(now, cfg.Workload.TotalDemandAt(now)/totalCapacity)
+		res.OverallLoad.Add(now, totalDemandAt(now)/totalCapacity)
 		pct := 0.0
 		if winVMTicks > 0 {
 			pct = 100 * winVMOverTicks / winVMTicks
@@ -386,9 +508,17 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 
 		if cfg.RecordServerUtil {
 			row := make([]float64, len(d.Servers))
-			for i, s := range d.Servers {
-				if s.State() == dc.Active {
-					row[i] = s.UtilizationAt(now)
+			if pool != nil {
+				par.For(pool, len(d.Servers), func(i int) {
+					if s := d.Servers[i]; s.State() == dc.Active {
+						row[i] = s.UtilizationAt(now)
+					}
+				})
+			} else {
+				for i, s := range d.Servers {
+					if s.State() == dc.Active {
+						row[i] = s.UtilizationAt(now)
+					}
 				}
 			}
 			res.SampleTimes = append(res.SampleTimes, now)

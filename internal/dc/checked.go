@@ -39,34 +39,47 @@ func (d *DataCenter) verify(e Event) {
 // demand-free. It complements CheckInvariants, which audits the structural
 // state (indexes, sortedness, RAM accounting) independent of time.
 func (d *DataCenter) CheckRuntime(now time.Duration) error {
-	for _, s := range d.Servers {
-		demand := 0.0
-		for _, vm := range s.vms {
-			v := vm.DemandAt(now)
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return fmt.Errorf("dc: VM %d on server %d has non-finite demand %v at %v", vm.ID, s.ID, v, now)
-			}
-			if v < 0 {
-				return fmt.Errorf("dc: VM %d on server %d has negative demand %v at %v", vm.ID, s.ID, v, now)
-			}
-			demand += v
+	for i := range d.Servers {
+		if err := d.CheckServerRuntime(i, now); err != nil {
+			return err
 		}
-		if s.state != Active && demand > 0 {
-			return fmt.Errorf("dc: %s server %d carries demand %v at %v", s.state, s.ID, demand, now)
+	}
+	return nil
+}
+
+// CheckServerRuntime audits one server (by index into Servers) at virtual
+// time now — the per-server unit CheckRuntime loops over. It only touches
+// that server's state, so a parallel control round can shard the audit
+// across workers and merge the first error in index order, matching what
+// the sequential loop reports.
+func (d *DataCenter) CheckServerRuntime(i int, now time.Duration) error {
+	s := d.Servers[i]
+	demand := 0.0
+	for _, vm := range s.vms {
+		v := vm.DemandAt(now)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dc: VM %d on server %d has non-finite demand %v at %v", vm.ID, s.ID, v, now)
 		}
-		// The demand kernel promises bit-identity with the naive summation
-		// just performed, so this comparison is exact, not tolerance-based.
-		//ecolint:allow float-eq — the kernel's contract IS bit-identity; any tolerance would mask the bug this check exists to catch
-		if got := s.DemandAt(now); got != demand {
-			return fmt.Errorf("dc: server %d cached demand %v disagrees with recomputation %v at %v", s.ID, got, demand, now)
+		if v < 0 {
+			return fmt.Errorf("dc: VM %d on server %d has negative demand %v at %v", vm.ID, s.ID, v, now)
 		}
-		want := demand - s.CapacityMHz()
-		if want < 0 {
-			want = 0
-		}
-		if got := s.OverDemandAt(now); math.Abs(got-want) > 1e-6 {
-			return fmt.Errorf("dc: server %d over-demand %v disagrees with demand-capacity %v at %v", s.ID, got, want, now)
-		}
+		demand += v
+	}
+	if s.state != Active && demand > 0 {
+		return fmt.Errorf("dc: %s server %d carries demand %v at %v", s.state, s.ID, demand, now)
+	}
+	// The demand kernel promises bit-identity with the naive summation
+	// just performed, so this comparison is exact, not tolerance-based.
+	//ecolint:allow float-eq — the kernel's contract IS bit-identity; any tolerance would mask the bug this check exists to catch
+	if got := s.DemandAt(now); got != demand {
+		return fmt.Errorf("dc: server %d cached demand %v disagrees with recomputation %v at %v", s.ID, got, demand, now)
+	}
+	want := demand - s.CapacityMHz()
+	if want < 0 {
+		want = 0
+	}
+	if got := s.OverDemandAt(now); math.Abs(got-want) > 1e-6 {
+		return fmt.Errorf("dc: server %d over-demand %v disagrees with demand-capacity %v at %v", s.ID, got, want, now)
 	}
 	return nil
 }

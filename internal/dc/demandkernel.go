@@ -98,6 +98,14 @@ func (s *Server) demandAt(t time.Duration) float64 {
 		return k.sum
 	}
 	k.misses++
+	return k.refill(t)
+}
+
+// refill recomputes the aggregate through the cursors — the exact summation
+// (VM-ID order) the naive path runs — and installs the validity window. It
+// does not touch the hit/miss counters; demandAt and WarmDemandCache account
+// for their own accesses.
+func (k *demandKernel) refill(t time.Duration) float64 {
 	sum := 0.0
 	from := time.Duration(math.MinInt64)
 	until := time.Duration(math.MaxInt64)
@@ -113,6 +121,24 @@ func (s *Server) demandAt(t time.Duration) float64 {
 	}
 	k.valid, k.from, k.until, k.sum = true, from, until, sum
 	return sum
+}
+
+// WarmDemandCache refills the server's demand aggregate for time t without
+// counting the access, so a prewarmed run reports the same total number of
+// demand lookups as a sequential one (the hit/miss split shifts toward hits;
+// the sum of the two is what the accounting tests pin down). It exists for
+// the parallel control round: workers warm every server's cache up front —
+// a per-server mutation, safe to shard — and the sequential policy scan that
+// follows then takes the hit path for every server. The installed value is
+// bit-identical to what a miss at t would have installed, so warming never
+// changes any demand a later read returns. No-op when the kernel is disabled
+// or the cached window already covers t.
+func (s *Server) WarmDemandCache(t time.Duration) {
+	k := &s.kernel
+	if k.disabled || (k.valid && t >= k.from && t < k.until) {
+		return
+	}
+	k.refill(t)
 }
 
 // DemandCacheStats aggregates the demand kernel's counters across a fleet.

@@ -67,11 +67,6 @@ type Config struct {
 	// DisableMigration turns the migration procedure off entirely; the
 	// Fig. 12 experiment analyzes the assignment procedure in isolation.
 	DisableMigration bool
-
-	// Parallel fans the invitation round's utilization computation across
-	// GOMAXPROCS workers for large fleets; results are bit-identical to the
-	// sequential path because Bernoulli draws come from per-server streams.
-	Parallel bool
 }
 
 // MultiStrategy selects how the §V extension combines per-resource trials.

@@ -2,13 +2,12 @@ package ecocloud
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/dc"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -270,7 +269,7 @@ func (p *Policy) selectDestination(env cluster.Env, fa AssignProbFunc, exclude i
 		invited = subset
 	}
 
-	utils := p.utilizations(invited, env.Now)
+	utils := utilizations(env.Pool, invited, env.Now)
 	var accepted []*dc.Server
 	for i, s := range invited {
 		u := utils[i]
@@ -369,40 +368,22 @@ func (p *Policy) multiTrial(s *dc.Server, fa AssignProbFunc, u, ramU float64) bo
 	}
 }
 
-// utilizations evaluates UtilizationAt for every server, fanning out across
-// GOMAXPROCS workers when the fleet is large and Parallel is set. The
+// utilizations evaluates UtilizationAt for every server, sharding across
+// the run's fork-join pool when one is attached and the fleet is large. The
 // result is identical to the sequential path: a utilization read returns the
-// same bits either way (it may fill the server's demand cache, but servers
-// are partitioned across workers, so no server is touched by two goroutines).
-func (p *Policy) utilizations(servers []*dc.Server, now time.Duration) []float64 {
+// same bits either way (it may fill the server's demand cache, but that is a
+// per-server mutation, and internal/par never hands one index-slot to two
+// workers). Small invitations stay inline — the reads are cache hits and
+// not worth the fan-out.
+func utilizations(pool *par.Pool, servers []*dc.Server, now time.Duration) []float64 {
 	out := make([]float64, len(servers))
-	workers := runtime.GOMAXPROCS(0)
-	if !p.cfg.Parallel || len(servers) < 64 || workers < 2 {
+	if !pool.Parallel() || len(servers) < 128 {
 		for i, s := range servers {
 			out[i] = s.UtilizationAt(now)
 		}
 		return out
 	}
-	var wg sync.WaitGroup
-	chunk := (len(servers) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(servers) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(servers) {
-			hi = len(servers)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = servers[i].UtilizationAt(now)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	par.For(pool, len(servers), func(i int) { out[i] = servers[i].UtilizationAt(now) })
 	return out
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dc"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/trace"
 )
@@ -443,15 +444,31 @@ func TestPolicyDeterministic(t *testing.T) {
 	}
 }
 
-func TestParallelMatchesSequential(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.Cooldown = 0
-	seq := runScenario(t, cfg, 99)
-	cfg.Parallel = true
-	par := runScenario(t, cfg, 99)
-	for i := range seq {
-		if seq[i] != par[i] {
-			t.Fatalf("parallel invitation round changed placement of VM %d", i)
+func TestPooledUtilizationsMatchSequential(t *testing.T) {
+	// 200 loaded servers (past the inline cutoff): the invitation round's
+	// utilization fan-out through a fork-join pool must return the same bits
+	// as the inline loop, at several worker counts.
+	d := dc.New(dc.StandardFleet(200))
+	now := 45 * time.Minute
+	for i, s := range d.Servers {
+		if err := d.Activate(s, 0); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 1+i%4; j++ {
+			if err := d.Place(constVM(1000*i+j, 200+float64((i*7+j*13)%1100)), s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := utilizations(nil, d.Servers, now)
+	for _, workers := range []int{1, 2, 8} {
+		pool := par.New(workers)
+		got := utilizations(pool, d.Servers, now)
+		pool.Close()
+		for i := range want {
+			if got[i] != want[i] { //ecolint:allow float-eq — bit-identity is the property under test
+				t.Fatalf("workers=%d: server %d utilization %x != sequential %x", workers, i, got[i], want[i])
+			}
 		}
 	}
 }

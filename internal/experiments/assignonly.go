@@ -92,6 +92,7 @@ func AssignOnly(opts AssignOnlyOptions) (*AssignOnlyResult, error) {
 		PowerModel:       dc.DefaultPowerModel(),
 		Initial:          cluster.SpreadRoundRobin,
 		RecordServerUtil: true,
+		Workers:          opts.Workers,
 		Obs:              opts.Obs,
 	}, pol)
 	if err != nil {

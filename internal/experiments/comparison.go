@@ -77,6 +77,10 @@ func Comparison(opts ComparisonOptions) (*ComparisonResult, error) {
 		if err != nil {
 			return err
 		}
+		// The four policies run concurrently; sharing the caller's recorder
+		// here would interleave their journal lines nondeterministically, so
+		// the per-policy runs execute unobserved (the comparison table is
+		// the product).
 		res, err := cluster.Run(cluster.RunConfig{
 			Specs:           dc.StandardFleet(opts.Servers),
 			Workload:        ws,
@@ -84,7 +88,7 @@ func Comparison(opts ComparisonOptions) (*ComparisonResult, error) {
 			ControlInterval: opts.Control,
 			SampleInterval:  opts.Sample,
 			PowerModel:      opts.Power,
-			Obs:             opts.Obs,
+			Workers:         opts.Workers,
 		}, pol)
 		if err != nil {
 			return fmt.Errorf("experiments: comparison policy %s: %v", pol.Name(), err)

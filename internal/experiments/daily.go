@@ -76,6 +76,7 @@ func Daily(opts DailyOptions) (*DailyResult, error) {
 		SampleInterval:   opts.Sample,
 		PowerModel:       opts.Power,
 		RecordServerUtil: true,
+		Workers:          opts.Workers,
 		Obs:              opts.Obs,
 	}
 	res, err := cluster.Run(cfg, pol)

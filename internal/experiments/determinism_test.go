@@ -15,6 +15,13 @@ import (
 // determinism contract promises are a pure function of the seed.
 func runDailyGolden(t *testing.T, seed uint64) (csv, journal []byte) {
 	t.Helper()
+	return runDailyGoldenWorkers(t, seed, 0)
+}
+
+// runDailyGoldenWorkers is runDailyGolden with an explicit control-round
+// worker count, for the cross-worker bit-identity tests.
+func runDailyGoldenWorkers(t *testing.T, seed uint64, workers int) (csv, journal []byte) {
+	t.Helper()
 	var jbuf bytes.Buffer
 	res, err := Run("daily", RunRequest{
 		Config: RunConfig{
@@ -22,6 +29,7 @@ func runDailyGolden(t *testing.T, seed uint64) (csv, journal []byte) {
 			NumVMs:  300,
 			Horizon: 6 * time.Hour,
 			Seed:    seed,
+			Workers: workers,
 			Obs:     obs.NewRecorder(nil, obs.NewJournal(&jbuf)),
 		},
 	})
@@ -68,6 +76,66 @@ func TestDailySeedChangesOutput(t *testing.T) {
 	_, journal2 := runDailyGolden(t, 43)
 	if bytes.Equal(journal1, journal2) {
 		t.Error("seeds 42 and 43 produced identical journals; the seed is not reaching the workload")
+	}
+}
+
+// TestDailyWorkerCountInvariant is the parallel engine's golden test: the
+// daily experiment must produce byte-identical CSVs and journals at every
+// worker count, across seeds. Workers is a throughput knob, never a results
+// knob — the same claim DESIGN.md's "Parallel execution & determinism"
+// section makes, checked end to end through the registry, the cluster
+// runner's pooled control round, and the policy.
+func TestDailyWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("12 small simulations; skipped in -short")
+	}
+	for _, seed := range []uint64{42, 43, 44} {
+		csv0, journal0 := runDailyGoldenWorkers(t, seed, 0)
+		if len(journal0) == 0 {
+			t.Fatalf("seed %d: empty journal; the invariance check is vacuous", seed)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			csvW, journalW := runDailyGoldenWorkers(t, seed, workers)
+			if !bytes.Equal(csv0, csvW) {
+				t.Errorf("seed %d: Workers=%d CSV diverges from sequential at byte %d",
+					seed, workers, firstDiff(csv0, csvW))
+			}
+			if !bytes.Equal(journal0, journalW) {
+				t.Errorf("seed %d: Workers=%d journal diverges from sequential at byte %d",
+					seed, workers, firstDiff(journal0, journalW))
+			}
+		}
+	}
+}
+
+// TestParScaleWorkerCountInvariant covers the parscale experiment the same
+// way at test scale: the figure CSV must not depend on which worker counts
+// were swept (CI diffs -workers 1 against -workers 4 on exactly this
+// artifact). ParScale additionally verifies run-level bit-identity
+// internally, so an engine divergence fails the Run call itself.
+func TestParScaleWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several mid-size simulations; skipped in -short")
+	}
+	render := func(workers int) []byte {
+		res, err := Run("parscale", RunRequest{
+			Config: RunConfig{Servers: 150, Horizon: time.Hour, Seed: 7, Workers: workers},
+			Scale:  0.1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		for _, f := range res.Figures {
+			if err := f.WriteCSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return buf.Bytes()
+	}
+	w1, w8 := render(1), render(8)
+	if !bytes.Equal(w1, w8) {
+		t.Errorf("parscale CSV depends on the worker sweep: first divergence at byte %d", firstDiff(w1, w8))
 	}
 }
 

@@ -69,6 +69,7 @@ func Faults(opts FaultsOptions) (*Figure, error) {
 	opts.Churn.InitialVMs = opts.NumVMs
 	opts.Churn.Horizon = opts.Horizon
 	opts.Proto.Obs = opts.Obs
+	opts.Proto.Workers = opts.Workers
 	opts.Faults.Obs = opts.Obs
 	if len(opts.MTBFs) == 0 || len(opts.MTTRs) == 0 {
 		return nil, fmt.Errorf("experiments: faults sweep needs MTBFs and MTTRs")
@@ -128,6 +129,7 @@ func runFaultCell(opts FaultsOptions, fcfg faults.Config) (faultCell, error) {
 	if err != nil {
 		return faultCell{}, err
 	}
+	defer c.Close()
 	inj, err := faults.New(fcfg, opts.Servers, opts.Churn.Horizon, opts.Seed+2)
 	if err != nil {
 		return faultCell{}, err

@@ -87,6 +87,8 @@ func MultiResource(opts MultiResourceOptions) (*MultiResourceResult, error) {
 		if err != nil {
 			return err
 		}
+		// Variants run concurrently; a shared recorder would interleave
+		// their journals nondeterministically, so variants run unobserved.
 		res, err := cluster.Run(cluster.RunConfig{
 			Specs:           specs,
 			Workload:        ws,
@@ -94,7 +96,7 @@ func MultiResource(opts MultiResourceOptions) (*MultiResourceResult, error) {
 			ControlInterval: opts.Control,
 			SampleInterval:  opts.Sample,
 			PowerModel:      opts.Power,
-			Obs:             opts.Obs,
+			Workers:         opts.Workers,
 		}, pol)
 		if err != nil {
 			return fmt.Errorf("experiments: multi-resource %s: %v", variants[i].name, err)

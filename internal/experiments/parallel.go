@@ -2,14 +2,17 @@ package experiments
 
 import (
 	"runtime"
-	"sync"
+
+	"repro/internal/par"
 )
 
-// forEach runs fn(i) for i in [0, n) across min(GOMAXPROCS, n) workers and
-// returns the first error (by index order, so failures are deterministic).
-// Every fn(i) writes only to its own index of the caller's result slice, so
-// parallel execution is observationally identical to the sequential loop —
-// each simulation is self-contained and seeded independently.
+// forEach runs fn(i) for i in [0, n) across min(GOMAXPROCS, n) workers of a
+// short-lived internal/par pool and returns the first error (by index order,
+// so failures are deterministic). Every fn(i) writes only to its own index
+// of the caller's result slice, so parallel execution is observationally
+// identical to the sequential loop — each simulation is self-contained and
+// seeded independently. Items are whole simulations, so the fan-out is one
+// task per item rather than par's static shards.
 func forEach(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
@@ -18,29 +21,10 @@ func forEach(n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	pool := par.New(workers)
+	defer pool.Close()
 	errs := make([]error, n)
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			errs[i] = fn(i)
-		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					errs[i] = fn(i)
-				}
-			}()
-		}
-		for i := 0; i < n; i++ {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
+	par.Items(pool, n, func(i int) { errs[i] = fn(i) })
 	for _, err := range errs {
 		if err != nil {
 			return err

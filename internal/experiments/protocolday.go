@@ -46,6 +46,7 @@ func ProtocolDay(opts ProtocolDayOptions) (*Figure, error) {
 	opts.Churn.InitialVMs = opts.NumVMs
 	opts.Churn.Horizon = opts.Horizon
 	opts.Proto.Obs = opts.Obs
+	opts.Proto.Workers = opts.Workers
 	ws, err := trace.GenerateChurn(opts.Churn, opts.Seed)
 	if err != nil {
 		return nil, err
@@ -54,6 +55,7 @@ func ProtocolDay(opts ProtocolDayOptions) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer c.Close()
 	for _, vm := range ws.VMs {
 		vm := vm
 		c.Engine().Schedule(vm.Start, "arrival", func(*sim.Engine) { c.PlaceVM(vm) })

@@ -268,6 +268,26 @@ func init() {
 		},
 	})
 	Register(Experiment{
+		Name:        "parscale",
+		Description: "deterministic parallel control round: 10k-100k-server sweep, every worker count verified bit-identical",
+		Run: func(req RunRequest) (*RunResult, error) {
+			opts := DefaultParScaleOptions()
+			if req.scale() < 1 {
+				// Quick runs: small fleets, short horizon, but the full
+				// worker-count ladder — the parity check is the point.
+				opts.FleetSizes = []int{300, 600}
+				opts.WorkerCounts = []int{0, 1, 2, 8}
+				opts.Horizon = time.Hour
+			}
+			opts.RunConfig = req.Config.overlay(opts.RunConfig)
+			points, err := ParScale(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Name: "parscale", Figures: []*Figure{ParScaleFigure(points)}, Raw: points}, nil
+		},
+	})
+	Register(Experiment{
 		Name:        "faults",
 		Description: "graceful degradation: MTBF/MTTR sweep with wake failures and a lossy fabric",
 		Run: func(req RunRequest) (*RunResult, error) {

@@ -38,6 +38,11 @@ func ReplicateDaily(opts DailyOptions, seeds []uint64) ([]Replication, error) {
 	err := forEach(len(seeds), func(i int) error {
 		o := opts
 		o.Seed = seeds[i]
+		// Replicas run concurrently: sharing the caller's recorder would
+		// interleave their journal lines and counters nondeterministically
+		// across runs, so each replica executes unobserved — the cross-seed
+		// summary, not per-run telemetry, is this experiment's product.
+		o.Obs = nil
 		res, err := Daily(o)
 		if err != nil {
 			return fmt.Errorf("experiments: replicate seed %d: %v", seeds[i], err)

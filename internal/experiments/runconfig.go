@@ -17,6 +17,13 @@ type RunConfig struct {
 	Horizon time.Duration `json:"horizon"` // simulated time
 	Seed    uint64        `json:"seed"`    // master seed
 
+	// Workers routes the per-server control-round work through an
+	// internal/par pool with that many workers (0 = sequential). Results
+	// are bit-identical at every worker count, so Workers is a throughput
+	// knob, not part of the experiment's identity; it still appears in
+	// manifests so a recorded run names the engine it used.
+	Workers int `json:"workers,omitempty"`
+
 	// Obs receives run telemetry when non-nil; it is not part of the
 	// experiment's identity and stays out of manifests.
 	Obs *obs.Recorder `json:"-"`
@@ -38,6 +45,9 @@ func (o RunConfig) overlay(def RunConfig) RunConfig {
 	}
 	if o.Seed != 0 {
 		def.Seed = o.Seed
+	}
+	if o.Workers > 0 {
+		def.Workers = o.Workers
 	}
 	def.Obs = o.Obs
 	return def

@@ -98,6 +98,7 @@ func Scalability(opts ScalabilityOptions) ([]ScalabilityPoint, error) {
 	err := forEach(len(grid), func(i int) error {
 		v := variants[grid[i].variant]
 		cfg := protocol.DefaultConfig()
+		cfg.Workers = opts.Workers
 		v.mutate(&cfg)
 		p, err := runScalabilityPoint(cfg, grid[i].ns, opts)
 		if err != nil {
@@ -119,6 +120,7 @@ func runScalabilityPoint(cfg protocol.Config, ns int, opts ScalabilityOptions) (
 	if err != nil {
 		return ScalabilityPoint{}, err
 	}
+	defer c.Close()
 	// Preload: a running data center, servers out of their grace period.
 	preload := int(float64(ns) * opts.PreloadFrac)
 	id := 1_000_000

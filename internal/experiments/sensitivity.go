@@ -83,6 +83,8 @@ func Sensitivity(opts SensitivityOptions) ([]SensitivityPoint, error) {
 		if err != nil {
 			return SensitivityPoint{}, fmt.Errorf("experiments: sensitivity %s=%v: %v", param, value, err)
 		}
+		// Sweep points run concurrently; a shared recorder would interleave
+		// their journals nondeterministically, so points run unobserved.
 		res, err := cluster.Run(cluster.RunConfig{
 			Specs:            dc.StandardFleet(opts.Servers),
 			Workload:         ws,
@@ -91,7 +93,7 @@ func Sensitivity(opts SensitivityOptions) ([]SensitivityPoint, error) {
 			SampleInterval:   opts.Sample,
 			PowerModel:       opts.Power,
 			RecordServerUtil: true,
-			Obs:              opts.Obs,
+			Workers:          opts.Workers,
 		}, pol)
 		if err != nil {
 			return SensitivityPoint{}, err

@@ -121,7 +121,7 @@ func parseDirective(rest string, pos token.Position) (directive, string) {
 // knownRule reports whether name is a waivable rule.
 func knownRule(name string) bool {
 	switch name {
-	case RuleWallclock, RuleGlobalRand, RuleExplicitSource, RuleFloatEq, RuleOrderedOutput:
+	case RuleWallclock, RuleGlobalRand, RuleExplicitSource, RuleFloatEq, RuleOrderedOutput, RuleGoroutine:
 		return true
 	}
 	return false

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// concurrencyImports are the packages whose presence means a file does its
+// own synchronization. Importing one of them is the finding (like the
+// globalrand rule): there is no way to use sync primitives without creating
+// schedule-dependent execution, and schedule-dependent execution in
+// sim-critical code is exactly what breaks bit-reproducibility.
+var concurrencyImports = map[string]bool{
+	"sync":        true,
+	"sync/atomic": true,
+}
+
+// analyzerGoroutine reports `go` statements and sync/sync-atomic imports in
+// sim-critical packages outside the audited concurrency subsystems
+// (Config.Concurrency, by default internal/par). Parallelism in simulation
+// code must flow through internal/par, whose static sharding and ordered
+// reduction keep runs bit-identical at every worker count; ad-hoc goroutines
+// reintroduce scheduler nondeterminism one `go` statement at a time.
+// Genuinely concurrent infrastructure (the obs recorder, progress
+// heartbeats) carries an //ecolint:allow goroutine annotation with the
+// reason.
+var analyzerGoroutine = &Analyzer{
+	Name:            RuleGoroutine,
+	Doc:             "forbids go statements and sync imports outside the audited concurrency packages",
+	SimCriticalOnly: true,
+	Run: func(pass *Pass) {
+		if matchScope(pass.Pkg.Path, pass.Cfg.Concurrency) {
+			return
+		}
+		for _, file := range pass.Pkg.Files {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if concurrencyImports[path] {
+					pass.Report(imp.Pos(), RuleGoroutine,
+						"import of %s: sim-critical concurrency must go through internal/par, whose sharding keeps runs bit-identical", path)
+				}
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				if stmt, ok := n.(*ast.GoStmt); ok {
+					pass.Report(stmt.Pos(), RuleGoroutine,
+						"go statement spawns a scheduler-ordered goroutine; use internal/par for deterministic parallelism")
+				}
+				return true
+			})
+		}
+	},
+}

@@ -33,6 +33,7 @@ const (
 	RuleExplicitSource = "explicit-source" // rng.Source reached through a package-level var
 	RuleFloatEq        = "float-eq"        // == / != between floating-point operands
 	RuleOrderedOutput  = "ordered-output"  // output written while ranging over a map
+	RuleGoroutine      = "goroutine"       // go statements / sync imports outside internal/par
 	RuleDirective      = "directive"       // malformed //ecolint:allow annotations
 )
 
@@ -55,9 +56,13 @@ func (d Diagnostic) String() string {
 // named subtree (the prefix itself included).
 type Config struct {
 	// SimCritical lists the packages under the determinism contract, where
-	// the wallclock, globalrand and explicit-source rules apply. float-eq
-	// and ordered-output apply to every loaded package regardless.
+	// the wallclock, globalrand, explicit-source and goroutine rules apply.
+	// float-eq and ordered-output apply to every loaded package regardless.
 	SimCritical []string
+	// Concurrency lists the audited concurrency subsystems, exempt from the
+	// goroutine rule: packages whose whole purpose is to own goroutines and
+	// sync primitives on behalf of everyone else (internal/par).
+	Concurrency []string
 }
 
 // DefaultConfig returns the repository's scopes: everything under
@@ -65,7 +70,10 @@ type Config struct {
 // wall-clock runs); fixture/... keeps the linter's own testdata in scope so
 // the CLI can be pointed straight at a fixture package.
 func DefaultConfig() Config {
-	return Config{SimCritical: []string{"repro/internal/...", "fixture/..."}}
+	return Config{
+		SimCritical: []string{"repro/internal/...", "fixture/..."},
+		Concurrency: []string{"repro/internal/par", "fixture/par"},
+	}
 }
 
 // matchScope reports whether importPath is covered by any pattern.
@@ -122,6 +130,7 @@ func Analyzers() []*Analyzer {
 		analyzerExplicitSource,
 		analyzerFloatEq,
 		analyzerOrderedOutput,
+		analyzerGoroutine,
 	}
 }
 

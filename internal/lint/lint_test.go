@@ -116,6 +116,7 @@ func TestEachRuleFixture(t *testing.T) {
 		{"fixture/explicitsource", RuleExplicitSource},
 		{"fixture/floateq", RuleFloatEq},
 		{"fixture/orderedoutput", RuleOrderedOutput},
+		{"fixture/goroutine", RuleGoroutine},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rule, func(t *testing.T) {

@@ -1,0 +1,31 @@
+// Package goroutine exercises the goroutine rule: ad-hoc concurrency in
+// sim-critical code outside the audited internal/par subsystem.
+package goroutine
+
+import (
+	"sync"        // want goroutine
+	"sync/atomic" // want goroutine
+)
+
+// Bad spawns a scheduler-ordered goroutine directly.
+func Bad() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want goroutine
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// BadCounter hand-rolls shared state.
+func BadCounter() int64 {
+	var n atomic.Int64
+	n.Add(1)
+	return n.Load()
+}
+
+// Allowed is the escape hatch: infrastructure that genuinely owns a
+// goroutine annotates the site with the reason.
+func Allowed(done chan struct{}) {
+	go close(done) //ecolint:allow goroutine — fixture for the waiver path
+}

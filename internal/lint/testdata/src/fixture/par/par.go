@@ -1,0 +1,18 @@
+// Package par stands in for the real internal/par in the fixture module: it
+// is listed in Config.Concurrency, so its goroutines and sync primitives
+// produce no findings — the exemption under test.
+package par
+
+import "sync"
+
+// Run fans one no-op task out per worker and waits.
+func Run(workers int) {
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}

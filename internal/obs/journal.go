@@ -3,7 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"io"
-	"sync"
+	"sync" //ecolint:allow goroutine — the journal serializes writers from concurrent experiment variants
 	"time"
 )
 

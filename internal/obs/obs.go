@@ -15,8 +15,8 @@ package obs
 import (
 	"encoding/json"
 	"sort"
-	"sync"
-	"sync/atomic"
+	"sync"        //ecolint:allow goroutine — metric registry is shared infrastructure; readers (progress, par workers) race writers by design
+	"sync/atomic" //ecolint:allow goroutine — lock-free counters/gauges are the telemetry-off-costs-nothing contract
 	"time"
 )
 

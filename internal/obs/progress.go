@@ -3,7 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
-	"sync"
+	"sync" //ecolint:allow goroutine — idempotent stop for the heartbeat goroutine
 	"time"
 )
 
@@ -13,6 +13,7 @@ import (
 // report. line typically reads atomic gauges/counters the run updates.
 //
 //ecolint:allow wallclock — the progress heartbeat is for the operator's wall clock; runs are identical with it disabled
+//ecolint:allow goroutine — the heartbeat is reporting-only and never feeds back into simulation state
 func StartProgress(w io.Writer, interval time.Duration, line func() string) (stop func()) {
 	if interval <= 0 {
 		interval = 2 * time.Second

@@ -11,6 +11,13 @@ import (
 //
 // A Recorder couples a metric Registry (always present when the recorder is
 // non-nil) with an optional event Journal.
+//
+// Every method is safe for concurrent use: metric lookups are serialized by
+// the registry lock, counters and gauges update atomically, timers and the
+// journal lock per operation. Parallel control-round workers (internal/par)
+// and concurrent experiment variants may therefore share one recorder —
+// though anything ordered (journal lines) must still be emitted from
+// sequential code for runs to stay byte-identical.
 type Recorder struct {
 	reg     *Registry
 	journal *Journal

@@ -30,6 +30,7 @@ import (
 	"repro/internal/ecocloud"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -119,6 +120,14 @@ type Config struct {
 	// Message sizes in bytes (headers + payload), for the bandwidth share.
 	InviteSize, ReplySize, AssignSize int
 
+	// Workers shards the migration scan's per-server decision phase (demand
+	// read + Bernoulli trial on the server's private stream) across an
+	// internal/par pool (0 = sequential). The hibernations and MIGREQ sends
+	// those decisions trigger are applied afterwards in server-index order,
+	// so message traffic — and therefore every downstream draw and event —
+	// is bit-identical to the sequential scan at every worker count.
+	Workers int
+
 	// Obs, when set, receives protocol telemetry: placements, wake-ups,
 	// migrations by kind, saturations, placement latency, plus the engine
 	// metrics and — with a journal attached — data-center mutation events.
@@ -166,6 +175,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("protocol: non-positive message size")
 	case c.RoundTimeout < 0 || c.AssignRetry < 0 || c.MigTimeout < 0:
 		return fmt.Errorf("protocol: negative fault-tolerance timeout")
+	case c.Workers < 0:
+		return fmt.Errorf("protocol: Workers = %d", c.Workers)
 	case c.Impairments.DropProb > 0 && !c.SilentReject && c.RoundTimeout <= 0:
 		return fmt.Errorf("protocol: a lossy fabric with reply counting needs a RoundTimeout")
 	}
@@ -320,8 +331,29 @@ type Cluster struct {
 	gate     WakeGate
 	onPlaced func(vmID int, now time.Duration)
 
+	// pool shards the migration scan's decision phase when cfg.Workers > 0;
+	// scan is its per-tick decision buffer, index-parallel to dc.Servers.
+	pool *par.Pool
+	scan []scanDecision
+
 	Stats Stats
 }
+
+// scanDecision is one server's outcome of the migration scan's parallel
+// decision phase; the apply phase folds these in server-index order.
+type scanDecision struct {
+	act scanAction
+	u   float64
+}
+
+type scanAction uint8
+
+const (
+	scanNone scanAction = iota
+	scanHibernate
+	scanLow
+	scanHigh
+)
 
 // pendingWake is the manager's book entry for one in-flight wake: how much
 // demand has been promised to the server and by how many assignments.
@@ -362,6 +394,16 @@ func New(cfg Config, specs []dc.Spec, seed uint64) (*Cluster, error) {
 		s := s
 		c.net.Register(serverNode(s.ID), func(m netsim.Message) { c.onServerMessage(s, m) })
 	}
+	if cfg.Workers > 0 {
+		c.pool = par.New(cfg.Workers)
+		c.scan = make([]scanDecision, len(c.dc.Servers))
+		// Pre-derive every server's private stream: the streams are keyed by
+		// label and ID (creation order never matters), and populating the map
+		// up front means the parallel scan phase only ever reads it.
+		for _, s := range c.dc.Servers {
+			c.serverSrc(s.ID)
+		}
+	}
 	if cfg.Obs.Enabled() {
 		eng.SetRecorder(cfg.Obs)
 		if cfg.Obs.Journaling() {
@@ -382,6 +424,10 @@ func New(cfg Config, specs []dc.Spec, seed uint64) (*Cluster, error) {
 
 // Engine exposes the simulation engine so callers can schedule arrivals.
 func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Close releases the scan worker pool (a no-op when Workers was 0). Callers
+// that set Config.Workers must Close the cluster when the run is over.
+func (c *Cluster) Close() { c.pool.Close() }
 
 // DC exposes the data center for inspection and pre-loading.
 func (c *Cluster) DC() *dc.DataCenter { return c.dc }
@@ -876,6 +922,10 @@ func (c *Cluster) StartMigrationScan() {
 	}
 	c.eng.Every(c.cfg.ScanInterval, c.cfg.ScanInterval, "migration-scan", func(*sim.Engine) {
 		now := c.eng.Now()
+		if c.pool != nil {
+			c.scanParallel(now)
+			return
+		}
 		for _, s := range c.dc.Servers {
 			if s.State() != dc.Active {
 				continue
@@ -902,6 +952,60 @@ func (c *Cluster) StartMigrationScan() {
 			}
 		}
 	})
+}
+
+// scanParallel is the migration scan split into a fork-join decision phase
+// and a sequential apply phase, bit-identical to the sequential loop above:
+//
+//   - Phase A (workers): each server reads its own utilization (a per-server
+//     demand-kernel mutation; no server is handed to two workers) and runs
+//     its Bernoulli trial on its private rng stream. A decision depends only
+//     on that server's state, because the actions the sequential loop takes
+//     mid-scan (hibernating s, sending a MIGREQ whose delivery is scheduled
+//     after the tick) never alter another server's utilization or streams.
+//   - Phase B (caller, server-index order): hibernations and MIGREQ sends
+//     fire in exactly the order the sequential scan fires them, so every
+//     per-server stream keeps its trial-then-pick draw order and the network
+//     stream sees sends in the same sequence.
+func (c *Cluster) scanParallel(now time.Duration) {
+	par.For(c.pool, len(c.dc.Servers), func(i int) {
+		s := c.dc.Servers[i]
+		d := scanDecision{}
+		if s.State() == dc.Active {
+			if s.NumVMs() == 0 {
+				if now-s.ActivatedAt >= c.cfg.Grace {
+					d.act = scanHibernate
+				}
+			} else {
+				u := s.UtilizationAt(now)
+				src := c.serverSrc(s.ID) // pre-populated in New: read-only here
+				switch {
+				case u < c.cfg.Tl && now-s.ActivatedAt >= c.cfg.Grace:
+					if src.Bernoulli(ecocloud.MigrateLowProb(u, c.cfg.Tl, c.cfg.Alpha)) {
+						d = scanDecision{act: scanLow, u: u}
+					}
+				case u > c.cfg.Th:
+					if src.Bernoulli(ecocloud.MigrateHighProb(u, c.cfg.Th, c.cfg.Beta)) {
+						d = scanDecision{act: scanHigh, u: u}
+					}
+				}
+			}
+		}
+		c.scan[i] = d
+	})
+	for i, d := range c.scan {
+		s := c.dc.Servers[i]
+		switch d.act {
+		case scanHibernate:
+			if err := c.dc.Hibernate(s); err != nil {
+				panic(fmt.Sprintf("protocol: hibernating server %d: %v", s.ID, err))
+			}
+		case scanLow:
+			c.sendMigReq(s, now, d.u, "low")
+		case scanHigh:
+			c.sendMigReq(s, now, d.u, "high")
+		}
+	}
 }
 
 // sendMigReq picks the VM to move (the §II selection rules) and asks the
