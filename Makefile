@@ -38,8 +38,12 @@ bench-scale:
 # writes out/BENCH_parallel_scale.json and verifies every pooled run is
 # bit-identical to the sequential baseline. See DESIGN.md "Parallel
 # execution & determinism".
+# The bench writer refuses GOMAXPROCS=1; force at least 2 so a constrained
+# container still produces a report (flagged oversubscribed when the OS
+# grants fewer real cores than workers).
 parscale:
-	$(GO) run ./cmd/ecobench -par-bench -out out
+	GOMAXPROCS=$$(n=$$(nproc); if [ $$n -lt 2 ]; then echo 2; else echo $$n; fi) \
+		$(GO) run ./cmd/ecobench -par-bench -out out -par-floor .github/parbench_floor.json
 
 # Regenerate every figure CSV at paper scale into ./out, alongside the run
 # manifest (out/run.json) and the JSONL event journal (out/journal.jsonl).

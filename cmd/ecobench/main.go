@@ -41,7 +41,8 @@ func main() {
 		markdown  = flag.String("markdown", "", "also assemble all figures into one Markdown report at this path")
 		htmlPath  = flag.String("html", "", "also assemble all figures into one self-contained HTML report (inline SVG charts)")
 		demandB   = flag.Bool("demand-bench", false, "run the demand-kernel scalability benchmark (400->4,000 servers) and write BENCH_demand_kernel.json, then exit")
-		parB      = flag.Bool("par-bench", false, "run the parallel-engine scalability benchmark (2,000->10,000 servers, workers 0->8) and write BENCH_parallel_scale.json, then exit")
+		parB      = flag.Bool("par-bench", false, "run the parallel-engine scalability benchmark (2,000->100,000 servers / 1M VMs, workers 0->8) and write BENCH_parallel_scale.json, then exit; requires GOMAXPROCS>=2")
+		parFloor  = flag.String("par-floor", "", "with -par-bench: fail if the pooled speedup at the largest fleet falls below the floor recorded in this JSON file")
 	)
 	fs := flag.CommandLine
 	fs.Uint64Var(&rc.Seed, "seed", rc.Seed, "master seed")
@@ -80,7 +81,7 @@ func main() {
 		return
 	}
 	if *parB {
-		if err := runParBench(*outDir, rc.Seed); err != nil {
+		if err := runParBench(*outDir, rc.Seed, *parFloor); err != nil {
 			fmt.Fprintln(os.Stderr, "ecobench:", err)
 			os.Exit(1)
 		}

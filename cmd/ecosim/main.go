@@ -226,17 +226,11 @@ func runPlanetLab(opts experiments.DailyOptions, dir string, refMHz float64) (*e
 	if err != nil {
 		return nil, err
 	}
-	run, err := cluster.Run(cluster.RunConfig{
-		Specs:            dc.StandardFleet(opts.Servers),
-		Workload:         ws,
-		Horizon:          horizon,
-		ControlInterval:  opts.Control,
-		SampleInterval:   opts.Sample,
-		PowerModel:       opts.Power,
-		RecordServerUtil: true,
-		Workers:          opts.Workers,
-		Obs:              opts.Obs,
-	}, pol)
+	ccfg := opts.ClusterConfig(dc.StandardFleet(opts.Servers), ws, opts.Control, opts.Sample, opts.Power)
+	ccfg.Horizon = horizon
+	ccfg.RecordServerUtil = true
+	ccfg.Obs = nil // attached via the option below, not the deprecated field
+	run, err := cluster.Run(ccfg, pol, cluster.WithObs(opts.Obs))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,36 @@
+package cluster
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Option mutates a RunConfig before Run validates it. Options exist for the
+// attachments that are not part of a run's identity — telemetry sinks,
+// journals, the execution engine — so call sites read as
+//
+//	cluster.Run(cfg, policy, cluster.WithObs(rec), cluster.WithEventLog(w))
+//
+// with cfg carrying only the simulation itself (fleet, workload, horizon,
+// cadences, power model). Setting the corresponding RunConfig fields
+// directly still works; an option merely overrides the field when given.
+type Option func(*RunConfig)
+
+// WithObs attaches a telemetry recorder to the run (see RunConfig.Obs).
+func WithObs(r *obs.Recorder) Option {
+	return func(c *RunConfig) { c.Obs = r }
+}
+
+// WithEventLog streams one JSON line per data-center mutation to w (see
+// RunConfig.EventLog).
+func WithEventLog(w io.Writer) Option {
+	return func(c *RunConfig) { c.EventLog = w }
+}
+
+// WithWorkers routes the per-server control-round work through an
+// internal/par pool with n workers (see RunConfig.Workers). Results are
+// bit-identical at every worker count.
+func WithWorkers(n int) Option {
+	return func(c *RunConfig) { c.Workers = n }
+}

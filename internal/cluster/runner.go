@@ -67,6 +67,9 @@ type RunConfig struct {
 	// and for external analysis; adds encoding cost per event. Setup
 	// mutations (the SpreadRoundRobin pre-placement) are not journaled:
 	// the log reflects policy behaviour only, matching the counters.
+	//
+	// Deprecated: prefer passing cluster.WithEventLog(w) to Run. The field
+	// keeps working; the option overrides it when both are given.
 	EventLog io.Writer
 
 	// DisableDemandCache turns off the incremental demand kernel, forcing
@@ -83,6 +86,9 @@ type RunConfig struct {
 	// journal — one JSONL event per policy-driven data-center mutation
 	// (setup pre-placement is excluded, like EventLog). Nil (the default)
 	// costs the run nothing.
+	//
+	// Deprecated: prefer passing cluster.WithObs(r) to Run. The field keeps
+	// working; the option overrides it when both are given.
 	Obs *obs.Recorder
 }
 
@@ -208,7 +214,12 @@ func observeDCEvent(r *obs.Recorder, now time.Duration, e dc.Event) {
 }
 
 // Run executes the workload against the policy and collects metrics.
-func Run(cfg RunConfig, policy Policy) (*Result, error) {
+// Options are applied to cfg (overriding its fields) before validation; see
+// Option for the attachment knobs available.
+func Run(cfg RunConfig, policy Policy, opts ...Option) (*Result, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -265,7 +276,7 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 			if err := d.Activate(s, 0); err != nil {
 				return nil, err
 			}
-			s.ActivatedAt = -1000 * time.Hour
+			s.SetActivatedAt(-1000 * time.Hour)
 		}
 		d.Activations = 0 // setup, not policy behaviour
 		i := 0
@@ -333,33 +344,40 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 		lastActivations, lastHibernation int
 	)
 
-	// obsSlot is one server's share of the overload observation, computed in
-	// parallel (phase A: workers write slot i only) and folded sequentially
-	// in server-index order (phase B), reproducing the sequential loop's
-	// float-operation order exactly. Reused across ticks.
-	type obsSlot struct {
-		active  bool
-		over    bool
-		ramOver bool
-		demand  float64
-		capa    float64
-		n       float64
+	// Per-tick scratch, allocated once per run: the observation is computed
+	// into slots (phase A — with a pool, workers fill disjoint spans via
+	// dc.ObserveSpan; without one, a single span fills inline) and folded
+	// sequentially in server-index order (phase B), reproducing the
+	// sequential loop's float-operation order exactly.
+	nServers := len(d.Servers)
+	slots := make([]dc.TickSample, nServers)
+	observe := func(now time.Duration) {
+		if pool.Parallel() {
+			pool.Range(nServers, func(sp par.Span) {
+				d.ObserveSpan(sp.Lo, sp.Hi, now, slots[sp.Lo:sp.Hi])
+			})
+		} else {
+			d.ObserveSpan(0, nServers, now, slots)
+		}
 	}
-	var slots []obsSlot
 	var demandScratch []float64
 	if pool != nil {
-		slots = make([]obsSlot, len(d.Servers))
 		demandScratch = make([]float64, len(cfg.Workload.VMs))
 	}
 	// totalDemandAt mirrors trace.Set.TotalDemandAt; with a pool the pure
-	// per-VM lookups fan out to workers and the fold stays sequential in
-	// slice order, so the sum is bit-identical.
+	// per-VM lookups fan out to workers as spans (one bounds-checked loop per
+	// shard, not one closure per VM) and the fold stays sequential in slice
+	// order, so the sum is bit-identical.
 	totalDemandAt := func(now time.Duration) float64 {
 		if pool == nil {
 			return cfg.Workload.TotalDemandAt(now)
 		}
 		ws := cfg.Workload.VMs
-		par.For(pool, len(ws), func(i int) { demandScratch[i] = ws[i].DemandAt(now) })
+		pool.Range(len(ws), func(sp par.Span) {
+			for i := sp.Lo; i < sp.Hi; i++ {
+				demandScratch[i] = ws[i].DemandAt(now)
+			}
+		})
 		sum := 0.0
 		for _, v := range demandScratch {
 			sum += v
@@ -381,10 +399,8 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 			// warmed value is bit-identical to what a miss would install,
 			// and the warm itself is uncounted, so only the hit/miss split
 			// shifts versus Workers=0 — never a result.
-			par.For(pool, len(d.Servers), func(i int) {
-				if s := d.Servers[i]; s.State() == dc.Active {
-					s.WarmDemandCache(now)
-				}
+			pool.Range(nServers, func(sp par.Span) {
+				d.WarmSpan(sp.Lo, sp.Hi, now)
 			})
 		}
 		policy.OnControl(Env{Now: now, DC: d, Rec: rec, Pool: pool})
@@ -393,78 +409,39 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 			// mode; the numeric audit is per control tick — sharded across
 			// the pool when one exists, with the first error in server-index
 			// order reported, like the sequential sweep.
-			if pool != nil {
-				errs := par.Map(pool, len(d.Servers), func(i int) error {
-					return d.CheckServerRuntime(i, now)
+			if pool.Parallel() {
+				spans := par.Shards(nServers)
+				errs := make([]error, len(spans))
+				pool.Range(nServers, func(sp par.Span) {
+					errs[sp.Index] = d.AuditSpan(sp.Lo, sp.Hi, now)
 				})
 				for _, err := range errs {
 					if err != nil {
 						panic(fmt.Sprintf("cluster: control tick at %v: %v", now, err))
 					}
 				}
-			} else if err := d.CheckRuntime(now); err != nil {
+			} else if err := d.AuditSpan(0, nServers, now); err != nil {
 				panic(fmt.Sprintf("cluster: control tick at %v: %v", now, err))
 			}
 		}
-		if pool != nil {
-			par.For(pool, len(d.Servers), func(i int) {
-				s := d.Servers[i]
-				if s.State() != dc.Active {
-					slots[i] = obsSlot{}
-					return
-				}
-				demand := s.DemandAt(now)
-				capa := s.CapacityMHz()
-				slots[i] = obsSlot{
-					active:  true,
-					over:    demand > capa,
-					ramOver: s.Spec.RAMMB > 0 && s.UsedRAMMB() > s.Spec.RAMMB,
-					demand:  demand,
-					capa:    capa,
-					n:       float64(s.NumVMs()),
-				}
-			})
-			for i := range slots {
-				sl := &slots[i]
-				if !sl.active {
-					continue
-				}
-				res.Episodes.Observe(d.Servers[i].ID, sl.over)
-				vmTicks += sl.n
-				winVMTicks += sl.n
-				if sl.over {
-					vmOverTicks += sl.n
-					winVMOverTicks += sl.n
-					overDemandMHz += sl.demand
-					overCapacityMHz += sl.capa
-					cfg.Obs.Count("cluster.overload_server_ticks", 1)
-				}
-				if sl.ramOver {
-					vmRAMOverTicks += sl.n
-				}
+		observe(now)
+		for i := range slots {
+			sl := &slots[i]
+			if !sl.Active {
+				continue
 			}
-		} else {
-			for _, s := range d.Servers {
-				if s.State() != dc.Active {
-					continue
-				}
-				demand := s.DemandAt(now)
-				capa := s.CapacityMHz()
-				over := demand > capa
-				res.Episodes.Observe(s.ID, over)
-				n := float64(s.NumVMs())
-				vmTicks += n
-				winVMTicks += n
-				if over {
-					vmOverTicks += n
-					winVMOverTicks += n
-					overDemandMHz += demand
-					overCapacityMHz += capa
-					cfg.Obs.Count("cluster.overload_server_ticks", 1)
-				}
-				if s.Spec.RAMMB > 0 && s.UsedRAMMB() > s.Spec.RAMMB {
-					vmRAMOverTicks += n
-				}
+			res.Episodes.Observe(d.Servers[i].ID, sl.Over)
+			vmTicks += sl.NVMs
+			winVMTicks += sl.NVMs
+			if sl.Over {
+				vmOverTicks += sl.NVMs
+				winVMOverTicks += sl.NVMs
+				overDemandMHz += sl.Demand
+				overCapacityMHz += sl.Cap
+				cfg.Obs.Count("cluster.overload_server_ticks", 1)
+			}
+			if sl.RAMOver {
+				vmRAMOverTicks += sl.NVMs
 			}
 		}
 		activeTickSum += float64(d.ActiveCount())
@@ -507,19 +484,13 @@ func Run(cfg RunConfig, policy Policy) (*Result, error) {
 		lastActivations, lastHibernation = d.Activations, d.Hibernations
 
 		if cfg.RecordServerUtil {
-			row := make([]float64, len(d.Servers))
-			if pool != nil {
-				par.For(pool, len(d.Servers), func(i int) {
-					if s := d.Servers[i]; s.State() == dc.Active {
-						row[i] = s.UtilizationAt(now)
-					}
+			row := make([]float64, nServers)
+			if pool.Parallel() {
+				pool.Range(nServers, func(sp par.Span) {
+					d.UtilSpan(sp.Lo, sp.Hi, now, row[sp.Lo:sp.Hi])
 				})
 			} else {
-				for i, s := range d.Servers {
-					if s.State() == dc.Active {
-						row[i] = s.UtilizationAt(now)
-					}
-				}
+				d.UtilSpan(0, nServers, now, row)
 			}
 			res.SampleTimes = append(res.SampleTimes, now)
 			res.ServerUtil = append(res.ServerUtil, row)

@@ -65,8 +65,8 @@ func (d *DataCenter) CheckServerRuntime(i int, now time.Duration) error {
 		}
 		demand += v
 	}
-	if s.state != Active && demand > 0 {
-		return fmt.Errorf("dc: %s server %d carries demand %v at %v", s.state, s.ID, demand, now)
+	if st := s.State(); st != Active && demand > 0 {
+		return fmt.Errorf("dc: %s server %d carries demand %v at %v", st, s.ID, demand, now)
 	}
 	// The demand kernel promises bit-identity with the naive summation
 	// just performed, so this comparison is exact, not tolerance-based.

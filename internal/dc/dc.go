@@ -120,27 +120,33 @@ func (p PowerModel) Power(state State, u float64) float64 {
 // the vm→server index stays consistent. Hosted VMs are kept in an ID-sorted
 // slice: iteration order (and therefore floating-point summation order) is
 // deterministic, which keeps whole runs bit-reproducible.
+//
+// Server is a thin accessor view: the per-tick hot fields (power state, used
+// RAM, activation time, the demand-kernel aggregate) live in the owning
+// DataCenter's flat arrays (see hot.go), indexed by ID. Only the jagged
+// per-server state — the VM slice and its demand cursors — lives here.
 type Server struct {
 	ID   int
 	Spec Spec
 
-	state State
-	vms   []*trace.VM // sorted by VM ID
-	// usedRAMMB is maintained incrementally (VM footprints are constant).
-	usedRAMMB float64
-
-	// ActivatedAt is the virtual time of the most recent transition to
-	// Active; the assignment procedure's 30-minute grace period (§IV) keys
-	// off it.
-	ActivatedAt time.Duration
-
-	// kernel caches the aggregate demand for the current trace epoch (see
-	// demandkernel.go). Mutated on reads: see the concurrency note there.
-	kernel demandKernel
+	d   *DataCenter
+	vms []*trace.VM // sorted by VM ID
+	// cursors memoizes each hosted VM's step-function position
+	// (index-parallel to vms; see demandkernel.go).
+	cursors []trace.DemandCursor
 }
 
 // State returns the server's power state.
-func (s *Server) State() State { return s.state }
+func (s *Server) State() State { return s.d.hot.state[s.ID] }
+
+// ActivatedAt returns the virtual time of the most recent transition to
+// Active; the assignment procedure's 30-minute grace period (§IV) keys
+// off it.
+func (s *Server) ActivatedAt() time.Duration { return s.d.hot.activatedAt[s.ID] }
+
+// SetActivatedAt overrides the activation timestamp — scenario setup uses it
+// to pre-activate servers with no grace period.
+func (s *Server) SetActivatedAt(t time.Duration) { s.d.hot.activatedAt[s.ID] = t }
 
 // NumVMs returns how many VMs the server currently hosts.
 func (s *Server) NumVMs() int { return len(s.vms) }
@@ -168,21 +174,21 @@ func (s *Server) insert(vm *trace.VM) {
 	s.vms = append(s.vms, nil)
 	copy(s.vms[i+1:], s.vms[i:])
 	s.vms[i] = vm
-	s.usedRAMMB += vm.RAMMB
-	s.kernel.insertCursor(i, vm)
+	s.d.hot.usedRAMMB[s.ID] += vm.RAMMB
+	s.insertCursor(i, vm)
 }
 
 // removeAt deletes the VM at index i.
 func (s *Server) removeAt(i int) {
-	s.usedRAMMB -= s.vms[i].RAMMB
+	s.d.hot.usedRAMMB[s.ID] -= s.vms[i].RAMMB
 	copy(s.vms[i:], s.vms[i+1:])
 	s.vms[len(s.vms)-1] = nil
 	s.vms = s.vms[:len(s.vms)-1]
-	s.kernel.removeCursor(i)
+	s.removeCursor(i)
 }
 
 // UsedRAMMB returns the summed memory footprint of hosted VMs.
-func (s *Server) UsedRAMMB() float64 { return s.usedRAMMB }
+func (s *Server) UsedRAMMB() float64 { return s.d.hot.usedRAMMB[s.ID] }
 
 // RAMUtilization returns used/capacity memory, or 0 when the server does
 // not model memory. Values above 1 mean overcommit (swapping).
@@ -190,11 +196,11 @@ func (s *Server) RAMUtilization() float64 {
 	if s.Spec.RAMMB <= 0 {
 		return 0
 	}
-	return s.usedRAMMB / s.Spec.RAMMB
+	return s.d.hot.usedRAMMB[s.ID] / s.Spec.RAMMB
 }
 
 // CapacityMHz returns the server's total CPU capacity.
-func (s *Server) CapacityMHz() float64 { return s.Spec.CapacityMHz() }
+func (s *Server) CapacityMHz() float64 { return s.d.hot.capMHz[s.ID] }
 
 // DemandAt returns the total CPU demand (MHz) of hosted VMs at time t. It
 // can exceed capacity: that is an over-demand (overload) condition. Lookups
@@ -225,6 +231,13 @@ type DataCenter struct {
 	Servers []*Server
 	byVM    map[int]*Server
 
+	// hot holds the per-server fields every control tick touches, as flat
+	// structure-of-arrays state indexed by server ID (see hot.go).
+	hot hotState
+	// kernelDisabled switches every DemandAt back to naive recomputation
+	// (see SetDemandCache).
+	kernelDisabled bool
+
 	// Switch counters, incremented by Activate/Hibernate; experiment drivers
 	// snapshot them into rate series (Fig. 10).
 	Activations  int
@@ -244,12 +257,22 @@ type DataCenter struct {
 // New builds a data center with one server per spec. Servers start
 // hibernated; policies wake what they need.
 func New(specs []Spec) *DataCenter {
-	d := &DataCenter{byVM: make(map[int]*Server), checked: defaultChecked}
+	d := &DataCenter{
+		byVM:    make(map[int]*Server),
+		checked: defaultChecked,
+		hot:     newHotState(len(specs)),
+	}
+	// One contiguous backing array: the views themselves are iterated in ID
+	// order all over the codebase, so keep them dense too.
+	backing := make([]Server, len(specs))
+	d.Servers = make([]*Server, len(specs))
 	for i, sp := range specs {
 		if sp.Cores <= 0 || sp.CoreMHz <= 0 {
 			panic(fmt.Sprintf("dc: invalid spec %d: %+v", i, sp))
 		}
-		d.Servers = append(d.Servers, &Server{ID: i, Spec: sp})
+		backing[i] = Server{ID: i, Spec: sp, d: d}
+		d.Servers[i] = &backing[i]
+		d.hot.capMHz[i] = sp.CapacityMHz()
 	}
 	return d
 }
@@ -294,8 +317,8 @@ func (d *DataCenter) TotalCapacityMHz() float64 {
 // ActiveCount returns how many servers are currently active.
 func (d *DataCenter) ActiveCount() int {
 	n := 0
-	for _, s := range d.Servers {
-		if s.state == Active {
+	for _, st := range d.hot.state {
+		if st == Active {
 			n++
 		}
 	}
@@ -314,14 +337,14 @@ func (d *DataCenter) NumPlaced() int { return len(d.byVM) }
 // Activate wakes a hibernated server at virtual time t. Failed servers
 // cannot be woken: the wake command is lost on dead hardware.
 func (d *DataCenter) Activate(s *Server, t time.Duration) error {
-	if s.state == Active {
+	if d.hot.state[s.ID] == Active {
 		return fmt.Errorf("dc: server %d already active", s.ID)
 	}
-	if s.state == Failed {
+	if d.hot.state[s.ID] == Failed {
 		return fmt.Errorf("dc: activating failed server %d", s.ID)
 	}
-	s.state = Active
-	s.ActivatedAt = t
+	d.hot.state[s.ID] = Active
+	d.hot.activatedAt[s.ID] = t
 	d.Activations++
 	d.emit(Event{Kind: EventActivate, VM: -1, Server: s.ID, Dest: -1})
 	return nil
@@ -329,13 +352,13 @@ func (d *DataCenter) Activate(s *Server, t time.Duration) error {
 
 // Hibernate puts an active, empty server to sleep.
 func (d *DataCenter) Hibernate(s *Server) error {
-	if s.state != Active {
+	if d.hot.state[s.ID] != Active {
 		return fmt.Errorf("dc: server %d not active", s.ID)
 	}
 	if len(s.vms) > 0 {
 		return fmt.Errorf("dc: server %d still hosts %d VMs", s.ID, len(s.vms))
 	}
-	s.state = Hibernated
+	d.hot.state[s.ID] = Hibernated
 	d.Hibernations++
 	d.emit(Event{Kind: EventHibernate, VM: -1, Server: s.ID, Dest: -1})
 	return nil
@@ -345,8 +368,8 @@ func (d *DataCenter) Hibernate(s *Server) error {
 // or failed server is a hard error in every build (not just checked mode):
 // the fault path must never silently park a VM on a sleeping or dead machine.
 func (d *DataCenter) Place(vm *trace.VM, s *Server) error {
-	if s.state != Active {
-		return fmt.Errorf("dc: placing VM %d on %s server %d", vm.ID, s.state, s.ID)
+	if st := d.hot.state[s.ID]; st != Active {
+		return fmt.Errorf("dc: placing VM %d on %s server %d", vm.ID, st, s.ID)
 	}
 	if host, ok := d.byVM[vm.ID]; ok {
 		return fmt.Errorf("dc: VM %d already placed on server %d", vm.ID, host.ID)
@@ -378,8 +401,8 @@ func (d *DataCenter) Migrate(vmID int, to *Server) error {
 	if to == from {
 		return fmt.Errorf("dc: migrating VM %d onto its own host %d", vmID, to.ID)
 	}
-	if to.state != Active {
-		return fmt.Errorf("dc: migrating VM %d to %s server %d", vmID, to.state, to.ID)
+	if st := d.hot.state[to.ID]; st != Active {
+		return fmt.Errorf("dc: migrating VM %d to %s server %d", vmID, st, to.ID)
 	}
 	i := from.indexOf(vmID)
 	vm := from.vms[i]
@@ -396,7 +419,7 @@ func (d *DataCenter) Migrate(vmID int, to *Server) error {
 // through the assignment procedure, or count them as lost. The server ends
 // in Failed and stays unusable until Recover.
 func (d *DataCenter) Fail(s *Server, t time.Duration) ([]*trace.VM, error) {
-	if s.state == Failed {
+	if d.hot.state[s.ID] == Failed {
 		return nil, fmt.Errorf("dc: server %d already failed", s.ID)
 	}
 	evicted := s.VMs()
@@ -405,7 +428,7 @@ func (d *DataCenter) Fail(s *Server, t time.Duration) ([]*trace.VM, error) {
 		delete(d.byVM, vm.ID)
 		d.emit(Event{Kind: EventCrashEvict, VM: vm.ID, Server: s.ID, Dest: -1})
 	}
-	s.state = Failed
+	d.hot.state[s.ID] = Failed
 	d.Failures++
 	d.emit(Event{Kind: EventFail, VM: -1, Server: s.ID, Dest: -1})
 	return evicted, nil
@@ -415,10 +438,10 @@ func (d *DataCenter) Fail(s *Server, t time.Duration) ([]*trace.VM, error) {
 // repaired machine boots into Hibernated — policies wake it when they need
 // it, exactly like a fresh server.
 func (d *DataCenter) Recover(s *Server, t time.Duration) error {
-	if s.state != Failed {
-		return fmt.Errorf("dc: recovering %s server %d", s.state, s.ID)
+	if st := d.hot.state[s.ID]; st != Failed {
+		return fmt.Errorf("dc: recovering %s server %d", st, s.ID)
 	}
-	s.state = Hibernated
+	d.hot.state[s.ID] = Hibernated
 	d.Recoveries++
 	d.emit(Event{Kind: EventRecover, VM: -1, Server: s.ID, Dest: -1})
 	return nil
@@ -427,8 +450,8 @@ func (d *DataCenter) Recover(s *Server, t time.Duration) error {
 // FailedCount returns how many servers are currently failed.
 func (d *DataCenter) FailedCount() int {
 	n := 0
-	for _, s := range d.Servers {
-		if s.state == Failed {
+	for _, st := range d.hot.state {
+		if st == Failed {
 			n++
 		}
 	}
@@ -439,8 +462,8 @@ func (d *DataCenter) FailedCount() int {
 // the given power model.
 func (d *DataCenter) PowerAt(t time.Duration, pm PowerModel) float64 {
 	sum := 0.0
-	for _, s := range d.Servers {
-		sum += pm.Power(s.state, s.UtilizationAt(t))
+	for i, st := range d.hot.state {
+		sum += pm.Power(st, d.Servers[i].demandAt(t)/d.hot.capMHz[i])
 	}
 	return sum
 }
@@ -448,9 +471,9 @@ func (d *DataCenter) PowerAt(t time.Duration, pm PowerModel) float64 {
 // PlacedDemandAt returns the total demand (MHz) of all placed VMs at t.
 func (d *DataCenter) PlacedDemandAt(t time.Duration) float64 {
 	sum := 0.0
-	for _, s := range d.Servers {
-		if s.state == Active {
-			sum += s.DemandAt(t)
+	for i, st := range d.hot.state {
+		if st == Active {
+			sum += d.Servers[i].demandAt(t)
 		}
 	}
 	return sum
@@ -509,24 +532,24 @@ func MinServersFor(specs []Spec, demandMHz, ta float64) int {
 func (d *DataCenter) CheckInvariants() error {
 	seen := 0
 	for _, s := range d.Servers {
-		if s.state != Active && len(s.vms) > 0 {
-			return fmt.Errorf("dc: %s server %d hosts %d VMs", s.state, s.ID, len(s.vms))
+		if st := d.hot.state[s.ID]; st != Active && len(s.vms) > 0 {
+			return fmt.Errorf("dc: %s server %d hosts %d VMs", st, s.ID, len(s.vms))
 		}
 		ram := 0.0
 		for _, vm := range s.vms {
 			ram += vm.RAMMB
 		}
-		if diff := ram - s.usedRAMMB; diff > 1e-6 || diff < -1e-6 {
-			return fmt.Errorf("dc: server %d RAM accounting drift: %v vs %v", s.ID, s.usedRAMMB, ram)
+		if diff := ram - d.hot.usedRAMMB[s.ID]; diff > 1e-6 || diff < -1e-6 {
+			return fmt.Errorf("dc: server %d RAM accounting drift: %v vs %v", s.ID, d.hot.usedRAMMB[s.ID], ram)
 		}
-		if len(s.kernel.cursors) != len(s.vms) {
-			return fmt.Errorf("dc: server %d has %d demand cursors for %d VMs", s.ID, len(s.kernel.cursors), len(s.vms))
+		if len(s.cursors) != len(s.vms) {
+			return fmt.Errorf("dc: server %d has %d demand cursors for %d VMs", s.ID, len(s.cursors), len(s.vms))
 		}
 		for i, vm := range s.vms {
 			if i > 0 && s.vms[i-1].ID >= vm.ID {
 				return fmt.Errorf("dc: server %d VM slice not strictly sorted at %d", s.ID, i)
 			}
-			if s.kernel.cursors[i].VM != vm {
+			if s.cursors[i].VM != vm {
 				return fmt.Errorf("dc: server %d demand cursor %d tracks the wrong VM", s.ID, i)
 			}
 			host, ok := d.byVM[vm.ID]

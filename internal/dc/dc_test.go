@@ -99,8 +99,8 @@ func TestActivateHibernateLifecycle(t *testing.T) {
 	if err := d.Activate(s, 5*time.Minute); err != nil {
 		t.Fatal(err)
 	}
-	if s.State() != Active || s.ActivatedAt != 5*time.Minute {
-		t.Fatalf("state=%v activatedAt=%v", s.State(), s.ActivatedAt)
+	if s.State() != Active || s.ActivatedAt() != 5*time.Minute {
+		t.Fatalf("state=%v activatedAt=%v", s.State(), s.ActivatedAt())
 	}
 	if err := d.Activate(s, time.Hour); err == nil {
 		t.Fatal("double activation accepted")

@@ -30,50 +30,44 @@ import (
 //     (owned by the server, one per hosted VM), so refills are an array read
 //     per VM rather than a division per VM.
 //
+// Layout: the aggregate (sum + validity window) and the counters live in the
+// DataCenter's flat hot-state arrays (hot.go), indexed by server ID; only
+// the per-VM cursors stay on the Server view. Both the hit path and the
+// refill are zero-alloc — the parscale differential tests pin that with
+// testing.AllocsPerRun.
+//
 // Concurrency: a server's cache is mutated on reads. That is safe under the
 // project's execution model — the engine is single-threaded, and the only
-// parallel fan-outs (ecocloud's invitation round, the experiment registry)
-// partition servers, or whole data centers, across workers. Workloads shared
-// between concurrent runs stay read-only: the cursors live here, not in
-// trace.VM.
-type demandKernel struct {
-	// disabled switches DemandAt back to naive recomputation; the
-	// differential tests and scalability benchmarks measure against it.
-	disabled bool
-
-	valid       bool
-	from, until time.Duration
-	sum         float64
-
-	// cursors is index-parallel to Server.vms.
-	cursors []trace.DemandCursor
-
-	hits, misses, invalidations uint64
-}
+// parallel fan-outs (ecocloud's invitation round, the experiment registry,
+// the control round's span dispatch) partition servers, or whole data
+// centers, across workers, and every cached word is indexed by server ID.
+// Workloads shared between concurrent runs stay read-only: the cursors live
+// here, not in trace.VM.
 
 // invalidate drops the cached aggregate (the cursors stay; their memos are
 // keyed by time, not by placement).
-func (k *demandKernel) invalidate() {
-	if k.valid {
-		k.valid = false
-		k.invalidations++
+func (s *Server) invalidate() {
+	h := &s.d.hot
+	if h.kValid[s.ID] {
+		h.kValid[s.ID] = false
+		h.kInval[s.ID]++
 	}
 }
 
 // insertCursor mirrors Server.insert at index i.
-func (k *demandKernel) insertCursor(i int, vm *trace.VM) {
-	k.cursors = append(k.cursors, trace.DemandCursor{})
-	copy(k.cursors[i+1:], k.cursors[i:])
-	k.cursors[i] = trace.DemandCursor{VM: vm}
-	k.invalidate()
+func (s *Server) insertCursor(i int, vm *trace.VM) {
+	s.cursors = append(s.cursors, trace.DemandCursor{})
+	copy(s.cursors[i+1:], s.cursors[i:])
+	s.cursors[i] = trace.DemandCursor{VM: vm}
+	s.invalidate()
 }
 
 // removeCursor mirrors Server.removeAt at index i.
-func (k *demandKernel) removeCursor(i int) {
-	copy(k.cursors[i:], k.cursors[i+1:])
-	k.cursors[len(k.cursors)-1] = trace.DemandCursor{}
-	k.cursors = k.cursors[:len(k.cursors)-1]
-	k.invalidate()
+func (s *Server) removeCursor(i int) {
+	copy(s.cursors[i:], s.cursors[i+1:])
+	s.cursors[len(s.cursors)-1] = trace.DemandCursor{}
+	s.cursors = s.cursors[:len(s.cursors)-1]
+	s.invalidate()
 }
 
 // recomputeDemandAt is the naive path: a fresh sum of per-VM trace lookups
@@ -89,28 +83,28 @@ func (s *Server) recomputeDemandAt(t time.Duration) float64 {
 // demandAt serves a lookup through the kernel: hit on the cached window,
 // refill through the cursors otherwise.
 func (s *Server) demandAt(t time.Duration) float64 {
-	k := &s.kernel
-	if k.disabled {
+	if s.d.kernelDisabled {
 		return s.recomputeDemandAt(t)
 	}
-	if k.valid && t >= k.from && t < k.until {
-		k.hits++
-		return k.sum
+	h := &s.d.hot
+	if h.kValid[s.ID] && t >= h.kFrom[s.ID] && t < h.kUntil[s.ID] {
+		h.kHits[s.ID]++
+		return h.kSum[s.ID]
 	}
-	k.misses++
-	return k.refill(t)
+	h.kMisses[s.ID]++
+	return s.refill(t)
 }
 
 // refill recomputes the aggregate through the cursors — the exact summation
 // (VM-ID order) the naive path runs — and installs the validity window. It
 // does not touch the hit/miss counters; demandAt and WarmDemandCache account
 // for their own accesses.
-func (k *demandKernel) refill(t time.Duration) float64 {
+func (s *Server) refill(t time.Duration) float64 {
 	sum := 0.0
 	from := time.Duration(math.MinInt64)
 	until := time.Duration(math.MaxInt64)
-	for i := range k.cursors {
-		d, f, u := k.cursors[i].Lookup(t)
+	for i := range s.cursors {
+		d, f, u := s.cursors[i].Lookup(t)
 		sum += d
 		if f > from {
 			from = f
@@ -119,7 +113,8 @@ func (k *demandKernel) refill(t time.Duration) float64 {
 			until = u
 		}
 	}
-	k.valid, k.from, k.until, k.sum = true, from, until, sum
+	h := &s.d.hot
+	h.kValid[s.ID], h.kFrom[s.ID], h.kUntil[s.ID], h.kSum[s.ID] = true, from, until, sum
 	return sum
 }
 
@@ -134,11 +129,14 @@ func (k *demandKernel) refill(t time.Duration) float64 {
 // changes any demand a later read returns. No-op when the kernel is disabled
 // or the cached window already covers t.
 func (s *Server) WarmDemandCache(t time.Duration) {
-	k := &s.kernel
-	if k.disabled || (k.valid && t >= k.from && t < k.until) {
+	if s.d.kernelDisabled {
 		return
 	}
-	k.refill(t)
+	h := &s.d.hot
+	if h.kValid[s.ID] && t >= h.kFrom[s.ID] && t < h.kUntil[s.ID] {
+		return
+	}
+	s.refill(t)
 }
 
 // DemandCacheStats aggregates the demand kernel's counters across a fleet.
@@ -154,10 +152,10 @@ type DemandCacheStats struct {
 // DemandCacheStats sums the per-server kernel counters.
 func (d *DataCenter) DemandCacheStats() DemandCacheStats {
 	var st DemandCacheStats
-	for _, s := range d.Servers {
-		st.Hits += s.kernel.hits
-		st.Misses += s.kernel.misses
-		st.Invalidations += s.kernel.invalidations
+	for i := range d.hot.kHits {
+		st.Hits += d.hot.kHits[i]
+		st.Misses += d.hot.kMisses[i]
+		st.Invalidations += d.hot.kInval[i]
 	}
 	return st
 }
@@ -167,8 +165,8 @@ func (d *DataCenter) DemandCacheStats() DemandCacheStats {
 // starts cold. The cache is on by default; the off position exists for the
 // differential tests and the naive-vs-cached scalability benchmarks.
 func (d *DataCenter) SetDemandCache(on bool) {
-	for _, s := range d.Servers {
-		s.kernel.disabled = !on
-		s.kernel.valid = false
+	d.kernelDisabled = !on
+	for i := range d.hot.kValid {
+		d.hot.kValid[i] = false
 	}
 }

@@ -1,0 +1,139 @@
+package dc
+
+import "time"
+
+// Hot-state layout
+//
+// The fields the control round touches for EVERY server on EVERY tick —
+// power state, used RAM, activation time, CPU capacity, and the demand
+// kernel's cached aggregate with its validity window and counters — live in
+// flat, contiguous per-datacenter arrays indexed by server ID, not in the
+// Server structs. A 100k-server observation pass walks a handful of dense
+// float64/State arrays instead of chasing 100k pointers into scattered
+// structs, which is what lets the sharded control round scale with cores
+// instead of with cache misses.
+//
+// Server remains the API: it is a thin accessor view (ID + Spec + the jagged
+// per-server VM slice and demand cursors) whose methods read and write the
+// hot arrays through the back-pointer to its DataCenter. Nothing outside the
+// package sees the layout, so snapshots, checked-mode invariants and every
+// policy keep working unchanged — they always went through methods.
+type hotState struct {
+	state       []State
+	usedRAMMB   []float64
+	activatedAt []time.Duration
+	capMHz      []float64 // == Spec.CapacityMHz(), precomputed once
+
+	// Demand-kernel aggregate per server (see demandkernel.go): the cached
+	// sum, its validity window [kFrom, kUntil), and the access counters.
+	// Counters are per-server — not one shared word — so a sharded warm
+	// phase can increment them without a data race.
+	kValid  []bool
+	kFrom   []time.Duration
+	kUntil  []time.Duration
+	kSum    []float64
+	kHits   []uint64
+	kMisses []uint64
+	kInval  []uint64
+}
+
+// newHotState allocates the arrays for n servers (all hibernated, all cold).
+func newHotState(n int) hotState {
+	return hotState{
+		state:       make([]State, n),
+		usedRAMMB:   make([]float64, n),
+		activatedAt: make([]time.Duration, n),
+		capMHz:      make([]float64, n),
+		kValid:      make([]bool, n),
+		kFrom:       make([]time.Duration, n),
+		kUntil:      make([]time.Duration, n),
+		kSum:        make([]float64, n),
+		kHits:       make([]uint64, n),
+		kMisses:     make([]uint64, n),
+		kInval:      make([]uint64, n),
+	}
+}
+
+// TickSample is one server's share of the control round's overload
+// observation: everything the runner folds into its accounting, computed in
+// one pass over the hot arrays. Inactive servers report the zero value.
+type TickSample struct {
+	Active  bool
+	Over    bool    // CPU demand exceeds capacity
+	RAMOver bool    // memory overcommitted (only when the fleet models RAM)
+	Demand  float64 // DemandAt(now), MHz
+	Cap     float64 // CapacityMHz
+	NVMs    float64 // hosted VM count, as the float the accounting sums
+}
+
+// ObserveSpan fills out[i-lo] with server i's TickSample for each i in
+// [lo, hi). It performs exactly the reads the sequential observation loop
+// performs — one counted DemandAt per active server — so accounting and
+// demand-cache traffic match the pre-span runner bit for bit. Workers may
+// call it on disjoint spans concurrently: every touched word (including the
+// kernel aggregate and its counters) is indexed by server ID.
+func (d *DataCenter) ObserveSpan(lo, hi int, now time.Duration, out []TickSample) {
+	h := &d.hot
+	for i := lo; i < hi; i++ {
+		if h.state[i] != Active {
+			out[i-lo] = TickSample{}
+			continue
+		}
+		s := d.Servers[i]
+		demand := s.demandAt(now)
+		capa := h.capMHz[i]
+		out[i-lo] = TickSample{
+			Active:  true,
+			Over:    demand > capa,
+			RAMOver: s.Spec.RAMMB > 0 && h.usedRAMMB[i] > s.Spec.RAMMB,
+			Demand:  demand,
+			Cap:     capa,
+			NVMs:    float64(len(s.vms)),
+		}
+	}
+}
+
+// WarmSpan refills the demand aggregate of every active server in [lo, hi)
+// without counting the access (see Server.WarmDemandCache). Safe to shard:
+// it mutates only words indexed by server ID.
+func (d *DataCenter) WarmSpan(lo, hi int, now time.Duration) {
+	if d.kernelDisabled {
+		return
+	}
+	h := &d.hot
+	for i := lo; i < hi; i++ {
+		if h.state[i] != Active {
+			continue
+		}
+		if h.kValid[i] && now >= h.kFrom[i] && now < h.kUntil[i] {
+			continue
+		}
+		d.Servers[i].refill(now)
+	}
+}
+
+// UtilSpan fills out[i-lo] with server i's utilization at now for active
+// servers and 0 otherwise — the per-server sample row of Figs. 6/12. Safe to
+// shard on disjoint spans, like ObserveSpan.
+func (d *DataCenter) UtilSpan(lo, hi int, now time.Duration, out []float64) {
+	h := &d.hot
+	for i := lo; i < hi; i++ {
+		if h.state[i] != Active {
+			out[i-lo] = 0
+			continue
+		}
+		out[i-lo] = d.Servers[i].demandAt(now) / h.capMHz[i]
+	}
+}
+
+// AuditSpan runs the checked-mode numeric audit over [lo, hi) and returns
+// the first error in server-index order, or nil — the span unit the parallel
+// control round shards (see CheckServerRuntime).
+func (d *DataCenter) AuditSpan(lo, hi int, now time.Duration) error {
+	for i := lo; i < hi; i++ {
+		if err := d.CheckServerRuntime(i, now); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -44,9 +44,9 @@ func (d *DataCenter) Snapshot() Snapshot {
 	for _, s := range d.Servers {
 		ss := ServerSnapshot{
 			ID:          s.ID,
-			Active:      s.state == Active,
-			Failed:      s.state == Failed,
-			ActivatedNS: int64(s.ActivatedAt),
+			Active:      s.State() == Active,
+			Failed:      s.State() == Failed,
+			ActivatedNS: int64(s.ActivatedAt()),
 		}
 		for _, vm := range s.vms {
 			ss.VMs = append(ss.VMs, vm.ID)
@@ -85,7 +85,7 @@ func Restore(specs []Spec, ws *trace.Set, snap Snapshot) (*DataCenter, error) {
 			if len(ss.VMs) > 0 {
 				return nil, fmt.Errorf("dc: snapshot has %d VMs on failed server %d", len(ss.VMs), ss.ID)
 			}
-			s.state = Failed
+			d.hot.state[s.ID] = Failed
 		case len(ss.VMs) > 0:
 			return nil, fmt.Errorf("dc: snapshot has %d VMs on hibernated server %d", len(ss.VMs), ss.ID)
 		}

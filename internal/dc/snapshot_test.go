@@ -86,8 +86,8 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		if s.State() != r.State() || s.UsedRAMMB() != r.UsedRAMMB() {
 			t.Fatalf("server %d state/RAM differs", i)
 		}
-		if s.State() == Active && s.ActivatedAt != r.ActivatedAt {
-			t.Fatalf("server %d ActivatedAt differs: %v vs %v", i, s.ActivatedAt, r.ActivatedAt)
+		if s.State() == Active && s.ActivatedAt() != r.ActivatedAt() {
+			t.Fatalf("server %d ActivatedAt differs: %v vs %v", i, s.ActivatedAt(), r.ActivatedAt())
 		}
 	}
 }

@@ -89,7 +89,7 @@ func (p *Policy) serverSrc(id int) *rng.Source {
 // inGrace reports whether server s is inside its post-activation grace
 // period at time now.
 func (p *Policy) inGrace(s *dc.Server, now time.Duration) bool {
-	return s.State() == dc.Active && now-s.ActivatedAt < p.cfg.Grace
+	return s.State() == dc.Active && now-s.ActivatedAt() < p.cfg.Grace
 }
 
 // OnArrival implements the assignment procedure (§II): the manager invites

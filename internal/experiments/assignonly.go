@@ -83,18 +83,11 @@ func AssignOnly(opts AssignOnlyOptions) (*AssignOnlyResult, error) {
 		return nil, err
 	}
 	specs := dc.UniformFleet(opts.Servers, opts.Cores, 2000)
-	simRes, err := cluster.Run(cluster.RunConfig{
-		Specs:            specs,
-		Workload:         ws,
-		Horizon:          opts.Churn.Horizon,
-		ControlInterval:  opts.Control,
-		SampleInterval:   opts.Sample,
-		PowerModel:       dc.DefaultPowerModel(),
-		Initial:          cluster.SpreadRoundRobin,
-		RecordServerUtil: true,
-		Workers:          opts.Workers,
-		Obs:              opts.Obs,
-	}, pol)
+	ccfg := opts.ClusterConfig(specs, ws, opts.Control, opts.Sample, dc.DefaultPowerModel())
+	ccfg.Horizon = opts.Churn.Horizon
+	ccfg.Initial = cluster.SpreadRoundRobin
+	ccfg.RecordServerUtil = true
+	simRes, err := cluster.Run(ccfg, pol)
 	if err != nil {
 		return nil, err
 	}

@@ -81,15 +81,9 @@ func Comparison(opts ComparisonOptions) (*ComparisonResult, error) {
 		// here would interleave their journal lines nondeterministically, so
 		// the per-policy runs execute unobserved (the comparison table is
 		// the product).
-		res, err := cluster.Run(cluster.RunConfig{
-			Specs:           dc.StandardFleet(opts.Servers),
-			Workload:        ws,
-			Horizon:         opts.Horizon,
-			ControlInterval: opts.Control,
-			SampleInterval:  opts.Sample,
-			PowerModel:      opts.Power,
-			Workers:         opts.Workers,
-		}, pol)
+		ccfg := opts.ClusterConfig(dc.StandardFleet(opts.Servers), ws, opts.Control, opts.Sample, opts.Power)
+		ccfg.Obs = nil
+		res, err := cluster.Run(ccfg, pol)
 		if err != nil {
 			return fmt.Errorf("experiments: comparison policy %s: %v", pol.Name(), err)
 		}

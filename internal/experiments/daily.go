@@ -68,17 +68,8 @@ func Daily(opts DailyOptions) (*DailyResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := cluster.RunConfig{
-		Specs:            dc.StandardFleet(opts.Servers),
-		Workload:         ws,
-		Horizon:          opts.Horizon,
-		ControlInterval:  opts.Control,
-		SampleInterval:   opts.Sample,
-		PowerModel:       opts.Power,
-		RecordServerUtil: true,
-		Workers:          opts.Workers,
-		Obs:              opts.Obs,
-	}
+	cfg := opts.ClusterConfig(dc.StandardFleet(opts.Servers), ws, opts.Control, opts.Sample, opts.Power)
+	cfg.RecordServerUtil = true
 	res, err := cluster.Run(cfg, pol)
 	if err != nil {
 		return nil, err

@@ -89,15 +89,9 @@ func MultiResource(opts MultiResourceOptions) (*MultiResourceResult, error) {
 		}
 		// Variants run concurrently; a shared recorder would interleave
 		// their journals nondeterministically, so variants run unobserved.
-		res, err := cluster.Run(cluster.RunConfig{
-			Specs:           specs,
-			Workload:        ws,
-			Horizon:         opts.Horizon,
-			ControlInterval: opts.Control,
-			SampleInterval:  opts.Sample,
-			PowerModel:      opts.Power,
-			Workers:         opts.Workers,
-		}, pol)
+		ccfg := opts.ClusterConfig(specs, ws, opts.Control, opts.Sample, opts.Power)
+		ccfg.Obs = nil
+		res, err := cluster.Run(ccfg, pol)
 		if err != nil {
 			return fmt.Errorf("experiments: multi-resource %s: %v", variants[i].name, err)
 		}

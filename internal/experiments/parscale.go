@@ -73,6 +73,14 @@ type ParScalePoint struct {
 // in [0.60, 0.85] — strictly inside (Tl, Th) — for the whole horizon.
 // Demands come from per-VM streams (master.SplitIndex), so the trace is a
 // pure function of (specs, perServer, horizon, epoch, seed).
+//
+// VM lifetimes extend one epoch PAST the horizon. With End == horizon every
+// VM's demand is zero at the final control tick (t == Horizon fires before
+// the engine stops), all n servers dip under Tl at once, and each runs a
+// doomed migrateLow invitation round over the other n-1 — an O(n²) no-op
+// storm (nobody accepts at fa(0) = 0) that cost minutes per cell at 50k+
+// servers while recording zero migrations. Outliving the horizon keeps the
+// band steady through every tick, which is the experiment's stated intent.
 func parScaleWorkload(specs []dc.Spec, perServer int, horizon, epoch time.Duration, seed uint64) *trace.Set {
 	master := rng.New(seed)
 	epochs := int(horizon/epoch) + 1
@@ -88,7 +96,7 @@ func parScaleWorkload(specs []dc.Spec, perServer int, horizon, epoch time.Durati
 		vms = append(vms, &trace.VM{
 			ID:     j,
 			Start:  0,
-			End:    horizon,
+			End:    horizon + epoch,
 			Epoch:  epoch,
 			Demand: demand,
 		})
@@ -114,17 +122,10 @@ func ParScaleCell(opts ParScaleOptions, servers, workers int) (cluster.RunConfig
 	if err != nil {
 		return cluster.RunConfig{}, nil, err
 	}
-	return cluster.RunConfig{
-		Specs:           specs,
-		Workload:        ws,
-		Horizon:         opts.Horizon,
-		ControlInterval: opts.Control,
-		SampleInterval:  opts.Sample,
-		PowerModel:      opts.Power,
-		Initial:         cluster.SpreadRoundRobin,
-		Workers:         workers,
-		Obs:             opts.Obs,
-	}, pol, nil
+	ccfg := opts.ClusterConfig(specs, ws, opts.Control, opts.Sample, opts.Power)
+	ccfg.Initial = cluster.SpreadRoundRobin
+	ccfg.Workers = workers
+	return ccfg, pol, nil
 }
 
 // sameResult reports whether two runs of the same cell produced bit-identical

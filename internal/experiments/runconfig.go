@@ -3,7 +3,10 @@ package experiments
 import (
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/dc"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // RunConfig is the cross-experiment core every Options struct embeds: the
@@ -51,6 +54,28 @@ func (o RunConfig) overlay(def RunConfig) RunConfig {
 	}
 	def.Obs = o.Obs
 	return def
+}
+
+// ClusterConfig converts the cross-experiment core into the cluster run it
+// describes: the shared knobs (Horizon, Workers, Obs) come from o, the
+// per-experiment ones (fleet, workload, cadences, power model) from the
+// arguments. Every experiment builds its cluster.RunConfig here and then
+// applies its own overrides (Initial, RecordServerUtil, a capped horizon) on
+// the returned value — one place to wire new cluster fields instead of a
+// hand-copied literal per experiment file. Experiments whose runs execute
+// concurrently must clear Obs on the result: a recorder shared across
+// concurrent runs would interleave their journals nondeterministically.
+func (o RunConfig) ClusterConfig(specs []dc.Spec, ws *trace.Set, control, sample time.Duration, pm dc.PowerModel) cluster.RunConfig {
+	return cluster.RunConfig{
+		Specs:           specs,
+		Workload:        ws,
+		Horizon:         o.Horizon,
+		ControlInterval: control,
+		SampleInterval:  sample,
+		PowerModel:      pm,
+		Workers:         o.Workers,
+		Obs:             o.Obs,
+	}
 }
 
 // scaleInt multiplies n by scale, keeping a workable minimum of 3 so shrunk

@@ -129,7 +129,7 @@ func runScalabilityPoint(cfg protocol.Config, ns int, opts ScalabilityOptions) (
 		if err := c.DC().Activate(s, 0); err != nil {
 			return ScalabilityPoint{}, err
 		}
-		s.ActivatedAt = -1000 * time.Hour
+		s.SetActivatedAt(-1000 * time.Hour)
 		vm := &trace.VM{
 			ID: id, Start: 0, End: 1000 * time.Hour, Epoch: 1000 * time.Hour,
 			Demand: []float64{opts.PreloadUtil * s.CapacityMHz()},

@@ -85,16 +85,10 @@ func Sensitivity(opts SensitivityOptions) ([]SensitivityPoint, error) {
 		}
 		// Sweep points run concurrently; a shared recorder would interleave
 		// their journals nondeterministically, so points run unobserved.
-		res, err := cluster.Run(cluster.RunConfig{
-			Specs:            dc.StandardFleet(opts.Servers),
-			Workload:         ws,
-			Horizon:          opts.Horizon,
-			ControlInterval:  opts.Control,
-			SampleInterval:   opts.Sample,
-			PowerModel:       opts.Power,
-			RecordServerUtil: true,
-			Workers:          opts.Workers,
-		}, pol)
+		ccfg := opts.ClusterConfig(dc.StandardFleet(opts.Servers), ws, opts.Control, opts.Sample, opts.Power)
+		ccfg.Obs = nil
+		ccfg.RecordServerUtil = true
+		res, err := cluster.Run(ccfg, pol)
 		if err != nil {
 			return SensitivityPoint{}, err
 		}

@@ -691,7 +691,7 @@ func (c *Cluster) serverAccepts(s *dc.Server, now time.Duration, demand, ta floa
 	if u+demand/s.CapacityMHz() > ta {
 		return false
 	}
-	if now-s.ActivatedAt < c.cfg.Grace {
+	if now-s.ActivatedAt() < c.cfg.Grace {
 		return true
 	}
 	fa := c.fa
@@ -931,7 +931,7 @@ func (c *Cluster) StartMigrationScan() {
 				continue
 			}
 			if s.NumVMs() == 0 {
-				if now-s.ActivatedAt >= c.cfg.Grace {
+				if now-s.ActivatedAt() >= c.cfg.Grace {
 					if err := c.dc.Hibernate(s); err != nil {
 						panic(fmt.Sprintf("protocol: hibernating server %d: %v", s.ID, err))
 					}
@@ -941,7 +941,7 @@ func (c *Cluster) StartMigrationScan() {
 			u := s.UtilizationAt(now)
 			src := c.serverSrc(s.ID)
 			switch {
-			case u < c.cfg.Tl && now-s.ActivatedAt >= c.cfg.Grace:
+			case u < c.cfg.Tl && now-s.ActivatedAt() >= c.cfg.Grace:
 				if src.Bernoulli(ecocloud.MigrateLowProb(u, c.cfg.Tl, c.cfg.Alpha)) {
 					c.sendMigReq(s, now, u, "low")
 				}
@@ -973,14 +973,14 @@ func (c *Cluster) scanParallel(now time.Duration) {
 		d := scanDecision{}
 		if s.State() == dc.Active {
 			if s.NumVMs() == 0 {
-				if now-s.ActivatedAt >= c.cfg.Grace {
+				if now-s.ActivatedAt() >= c.cfg.Grace {
 					d.act = scanHibernate
 				}
 			} else {
 				u := s.UtilizationAt(now)
 				src := c.serverSrc(s.ID) // pre-populated in New: read-only here
 				switch {
-				case u < c.cfg.Tl && now-s.ActivatedAt >= c.cfg.Grace:
+				case u < c.cfg.Tl && now-s.ActivatedAt() >= c.cfg.Grace:
 					if src.Bernoulli(ecocloud.MigrateLowProb(u, c.cfg.Tl, c.cfg.Alpha)) {
 						d = scanDecision{act: scanLow, u: u}
 					}

@@ -74,7 +74,7 @@ func activateLoaded(t *testing.T, c *Cluster, n int, u float64) {
 		if err := c.DC().Activate(s, 0); err != nil {
 			t.Fatal(err)
 		}
-		s.ActivatedAt = -1000 * time.Hour
+		s.SetActivatedAt(-1000 * time.Hour)
 		if u > 0 {
 			if err := c.DC().Place(constVM(id, u*s.CapacityMHz()), s); err != nil {
 				t.Fatal(err)
