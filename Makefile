@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test bench bench-scale parscale figures faults race cover clean
+.PHONY: all build vet lint lint-fixtures test bench bench-scale parscale figures faults race cover clean
 
 all: build vet lint test
 
@@ -13,8 +13,18 @@ vet:
 	$(GO) vet ./...
 
 # Determinism/correctness linter (see DESIGN.md "Determinism contract").
+# Always writes the machine-readable report; CI uploads it as an artifact.
 lint:
-	$(GO) run ./cmd/ecolint ./...
+	$(GO) run ./cmd/ecolint -report out/ecolint.json ./...
+
+# Exit-code contract of cmd/ecolint, asserted against the linter's own
+# fixtures: 0 on a clean package, 1 on findings, 2 on a load error. Uses a
+# built binary because `go run` collapses every nonzero exit to 1.
+lint-fixtures:
+	$(GO) build -o out/ecolint ./cmd/ecolint
+	out/ecolint ./internal/lint/testdata/src/fixture/clean
+	out/ecolint ./internal/lint/testdata/src/fixture/... >/dev/null 2>&1; test $$? -eq 1
+	out/ecolint ./internal/lint/testdata/src/broken >/dev/null 2>&1; test $$? -eq 2
 
 test:
 	$(GO) test ./...
@@ -57,4 +67,4 @@ faults:
 
 # Remove run artifacts but keep the checked-in figure CSVs and report.
 clean:
-	rm -f out/run.json out/journal.jsonl out/*.pprof
+	rm -f out/run.json out/journal.jsonl out/*.pprof out/ecolint.json out/ecolint

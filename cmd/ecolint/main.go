@@ -5,16 +5,23 @@
 //	go run ./cmd/ecolint ./...                 # the whole module (CI gate)
 //	go run ./cmd/ecolint ./internal/sim        # one package
 //	go run ./cmd/ecolint -json ./...           # machine-readable findings
+//	go run ./cmd/ecolint -why ./...            # render proving call chains
+//	go run ./cmd/ecolint -report out/lint.json ./...  # CI artifact
 //
 // Patterns are directories (with an optional /... suffix for subtrees); the
 // module root is discovered by walking up from the first pattern, so the
 // linter can also be pointed at the fixture module under
 // internal/lint/testdata. Exit status: 0 clean, 1 findings, 2 errors.
 //
-// Rules: wallclock, globalrand, explicit-source, float-eq, ordered-output.
-// A finding is waived only by an annotation with a reason, e.g.
+// Per-package rules: wallclock, globalrand, explicit-source, float-eq,
+// ordered-output, goroutine. Whole-program rules run over the call graph:
+// the taint pass extends wallclock/globalrand through wrappers, method
+// values and closures; hotpath forbids allocation on chains reachable from
+// //ecolint:hotpath roots; sharedwrite checks par fan-out callbacks. A
+// finding is waived only by an annotation with a reason, e.g.
 //
 //	//ecolint:allow wallclock — progress heartbeat runs on host time
+//	//ecolint:allow wallclock,globalrand — manifest records host provenance
 package main
 
 import (
@@ -31,19 +38,26 @@ import (
 func main() {
 	var (
 		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		why     = flag.Bool("why", false, "print the proving call chain under each whole-program finding")
+		report  = flag.String("report", "", "also write the JSON findings array to `file` (CI artifact)")
 		scope   = flag.String("scope", "", "comma-separated sim-critical package patterns (default: the repository scopes)")
 		rules   = flag.Bool("rules", false, "list the rules and exit")
 	)
 	flag.Parse()
 
 	if *rules {
+		fmt.Println("per-package rules:")
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Printf("  %-20s %s\n", a.Name, a.Doc)
+		}
+		fmt.Println("whole-program rules (call graph):")
+		for _, a := range lint.ProgramRules() {
+			fmt.Printf("  %-20s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
 
-	code, err := run(flag.Args(), *scope, *jsonOut)
+	code, err := run(flag.Args(), *scope, *jsonOut, *why, *report)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecolint:", err)
 		os.Exit(2)
@@ -51,7 +65,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(args []string, scope string, jsonOut bool) (int, error) {
+func run(args []string, scope string, jsonOut, why bool, report string) (int, error) {
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
@@ -71,18 +85,28 @@ func run(args []string, scope string, jsonOut bool) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	if diags == nil {
+		diags = []lint.Diagnostic{}
+	}
+	if report != "" {
+		if err := writeReport(report, diags); err != nil {
+			return 0, err
+		}
+	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []lint.Diagnostic{}
-		}
 		if err := enc.Encode(diags); err != nil {
 			return 0, err
 		}
 	} else {
 		for _, d := range diags {
 			fmt.Println(shortenPath(d))
+			if why && len(d.Chain) > 0 {
+				for i, hop := range d.Chain {
+					fmt.Printf("    %s%s\n", strings.Repeat("  ", i), hop)
+				}
+			}
 		}
 		if len(diags) > 0 {
 			fmt.Printf("ecolint: %d finding(s)\n", len(diags))
@@ -92,6 +116,21 @@ func run(args []string, scope string, jsonOut bool) (int, error) {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// writeReport writes the findings array as indented JSON to path, creating
+// parent directories as needed.
+func writeReport(path string, diags []lint.Diagnostic) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // resolve maps directory arguments to the owning module root and its

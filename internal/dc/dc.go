@@ -206,6 +206,8 @@ func (s *Server) CapacityMHz() float64 { return s.d.hot.capMHz[s.ID] }
 // can exceed capacity: that is an over-demand (overload) condition. Lookups
 // are served by the demand kernel (see demandkernel.go): cached for the
 // current trace epoch, bit-identical to a fresh per-VM summation.
+//
+//ecolint:hotpath
 func (s *Server) DemandAt(t time.Duration) float64 {
 	return s.demandAt(t)
 }

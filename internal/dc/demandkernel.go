@@ -99,6 +99,8 @@ func (s *Server) demandAt(t time.Duration) float64 {
 // (VM-ID order) the naive path runs — and installs the validity window. It
 // does not touch the hit/miss counters; demandAt and WarmDemandCache account
 // for their own accesses.
+//
+//ecolint:hotpath
 func (s *Server) refill(t time.Duration) float64 {
 	sum := 0.0
 	from := time.Duration(math.MinInt64)

@@ -72,6 +72,8 @@ type TickSample struct {
 // demand-cache traffic match the pre-span runner bit for bit. Workers may
 // call it on disjoint spans concurrently: every touched word (including the
 // kernel aggregate and its counters) is indexed by server ID.
+//
+//ecolint:hotpath
 func (d *DataCenter) ObserveSpan(lo, hi int, now time.Duration, out []TickSample) {
 	h := &d.hot
 	for i := lo; i < hi; i++ {
@@ -96,6 +98,8 @@ func (d *DataCenter) ObserveSpan(lo, hi int, now time.Duration, out []TickSample
 // WarmSpan refills the demand aggregate of every active server in [lo, hi)
 // without counting the access (see Server.WarmDemandCache). Safe to shard:
 // it mutates only words indexed by server ID.
+//
+//ecolint:hotpath
 func (d *DataCenter) WarmSpan(lo, hi int, now time.Duration) {
 	if d.kernelDisabled {
 		return
@@ -115,6 +119,8 @@ func (d *DataCenter) WarmSpan(lo, hi int, now time.Duration) {
 // UtilSpan fills out[i-lo] with server i's utilization at now for active
 // servers and 0 otherwise — the per-server sample row of Figs. 6/12. Safe to
 // shard on disjoint spans, like ObserveSpan.
+//
+//ecolint:hotpath
 func (d *DataCenter) UtilSpan(lo, hi int, now time.Duration, out []float64) {
 	h := &d.hot
 	for i := lo; i < hi; i++ {

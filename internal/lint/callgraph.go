@@ -1,0 +1,396 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Whole-program view
+//
+// The per-package analyzers (wallclock, globalrand, ...) see one typed AST at
+// a time, which is exactly the blind spot a helper exploits: wrap time.Now()
+// in a local function — or capture it as a method value — and every call-site
+// check walks straight past the laundered sink. The call graph built here
+// closes that gap. It spans every module-internal package the loader has
+// type-checked (the selected packages plus their transitive imports), with
+// one node per function declaration and edges for
+//
+//   - direct calls (pkg.F(), method calls with a concrete receiver),
+//   - function and method values (f := time.Now; s.refill passed around),
+//
+// while interface-method calls and calls through function-typed variables
+// stay unresolved — the graph is a static under-approximation, and the rules
+// built on it (taint, hotpath) only ever claim what a chain of resolved
+// edges proves.
+//
+// Function literals are attributed to their enclosing declaration: a sink
+// inside a closure taints the function that created the closure, which is
+// where a reviewer has to look anyway.
+//
+// The same walk records, per function, the uses of banned stdlib sinks (the
+// taint seeds) and the allocation-inducing constructs (the hotpath rule's
+// subject matter), so each whole-program rule is a traversal over this
+// structure rather than another AST pass.
+
+// CallEdge is one resolved use of another function: a call, or a reference
+// to the function as a value (method value, function value) — treated alike
+// by taint, because a captured function is one indirection away from a call.
+type CallEdge struct {
+	Callee *types.Func
+	Pos    token.Pos
+	IsRef  bool // value reference rather than a direct call
+}
+
+// SinkUse is one direct use of a banned stdlib function (host clock, global
+// randomness, environment) inside a function body.
+type SinkUse struct {
+	Rule  string // RuleWallclock or RuleGlobalRand
+	Name  string // rendered name, e.g. "time.Now", "os.Getenv"
+	Pos   token.Pos
+	IsRef bool // captured as a value instead of called
+}
+
+// AllocSite is one allocation-inducing construct, recorded for every
+// function and consulted only for those the hotpath rule proves reachable
+// from a zero-alloc root.
+type AllocSite struct {
+	Pos  token.Pos
+	What string // e.g. "make allocates", "fmt.Sprintf allocates"
+}
+
+// FuncNode is one declared function or method with everything the
+// whole-program rules need to know about its body.
+type FuncNode struct {
+	Fn   *types.Func
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Hot  bool // carries an //ecolint:hotpath annotation (zero-alloc root)
+
+	Calls  []CallEdge
+	Sinks  []SinkUse
+	Allocs []AllocSite
+}
+
+// Program is the whole-program call graph over every loaded module-internal
+// package. Nodes is in deterministic order: packages sorted by import path,
+// files in parse order, declarations in source order.
+type Program struct {
+	Fset  *token.FileSet
+	Nodes []*FuncNode
+	ByFn  map[*types.Func]*FuncNode
+}
+
+// hotpathMark is the annotation declaring a function a zero-alloc root: the
+// hotpath rule forbids allocation-inducing constructs in it and in every
+// function it (transitively, statically) calls.
+const hotpathMark = "ecolint:hotpath"
+
+// buildProgram constructs the call graph over pkgs (expected sorted by
+// import path — Loader.Packages returns them that way).
+func buildProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	prog := &Program{Fset: fset, ByFn: make(map[*types.Func]*FuncNode)}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Fn: fn, Pkg: pkg, Decl: fd, Hot: hasMark(fd.Doc, hotpathMark)}
+				collectBody(pkg, fd.Body, node)
+				prog.Nodes = append(prog.Nodes, node)
+				prog.ByFn[fn] = node
+			}
+		}
+	}
+	return prog
+}
+
+// hasMark reports whether doc contains a line comment starting with mark.
+func hasMark(doc *ast.CommentGroup, mark string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text, ok := strings.CutPrefix(c.Text, "//")
+		if !ok {
+			continue
+		}
+		if strings.HasPrefix(strings.TrimSpace(text), mark) {
+			return true
+		}
+	}
+	return false
+}
+
+// unparen strips parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// collectBody records the call edges, sink uses and allocation sites of one
+// function body (function literals included) into node.
+func collectBody(pkg *Package, body *ast.BlockStmt, node *FuncNode) {
+	info := pkg.Info
+	// consumed marks selector/ident nodes already accounted for as a call's
+	// Fun or as the Sel of a handled selector, so the reference pass below
+	// does not double-count them.
+	consumed := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			collectCall(info, x, node, consumed)
+		case *ast.SelectorExpr:
+			if fn, ok := info.Uses[x.Sel].(*types.Func); ok {
+				if !consumed[x] {
+					node.addUse(fn, x.Pos(), true)
+				}
+				consumed[x.Sel] = true
+			}
+		case *ast.Ident:
+			if consumed[x] {
+				return true
+			}
+			if fn, ok := info.Uses[x].(*types.Func); ok {
+				node.addUse(fn, x.Pos(), true)
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[x]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					node.alloc(x.Pos(), "slice literal allocates")
+				case *types.Map:
+					node.alloc(x.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := unparen(x.X).(*ast.CompositeLit); ok {
+					node.alloc(x.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringValue(info, x) {
+				node.alloc(x.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringValue(info, x.Lhs[0]) {
+				node.alloc(x.Pos(), "string concatenation allocates")
+			}
+		}
+		return true
+	})
+}
+
+// collectCall classifies one call expression: conversion, builtin, resolved
+// function call (edge/sink/fmt/boxing), or unresolved dynamic call.
+func collectCall(info *types.Info, call *ast.CallExpr, node *FuncNode, consumed map[ast.Node]bool) {
+	fun := unparen(call.Fun)
+	// Conversions: T(x). Interface targets box; string<->byte/rune slice
+	// conversions copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		recordConversion(info, call, tv.Type, node)
+		return
+	}
+	var callee *types.Func
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[f].(type) {
+		case *types.Builtin:
+			consumed[f] = true
+			switch obj.Name() {
+			case "make", "new", "append":
+				node.alloc(call.Pos(), obj.Name()+" allocates")
+			}
+			return
+		case *types.Func:
+			consumed[f] = true
+			callee = obj
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			consumed[f] = true
+			consumed[f.Sel] = true
+			callee = fn
+		}
+	}
+	if callee == nil {
+		return // dynamic call through a function value; unresolved by design
+	}
+	node.addUse(callee, call.Pos(), false)
+	if callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		node.alloc(call.Pos(), "fmt."+callee.Name()+" allocates")
+		return // the fmt finding subsumes per-argument boxing
+	}
+	// Value-to-interface conversions at call boundaries: a concrete argument
+	// passed to an interface parameter is boxed (one allocation per call on
+	// escape), which is exactly the kind of hidden cost the zero-alloc pins
+	// exist to keep off the hot path.
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		pt, ok := paramTypeAt(sig, i)
+		if !ok || (call.Ellipsis.IsValid() && sig.Variadic() && i >= sig.Params().Len()-1) {
+			continue // f(xs...) passes the slice through unboxed
+		}
+		if !isInterfaceType(pt) {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || isInterfaceType(at) || isUntypedNil(at) {
+			continue
+		}
+		node.alloc(arg.Pos(), "argument boxed into interface parameter "+paramName(sig, i))
+	}
+}
+
+// recordConversion flags allocating conversions.
+func recordConversion(info *types.Info, call *ast.CallExpr, target types.Type, node *FuncNode) {
+	if len(call.Args) != 1 {
+		return
+	}
+	at := info.Types[call.Args[0]].Type
+	if at == nil {
+		return
+	}
+	if isInterfaceType(target) && !isInterfaceType(at) && !isUntypedNil(at) {
+		node.alloc(call.Pos(), "conversion boxes its operand into an interface")
+		return
+	}
+	tu, au := target.Underlying(), at.Underlying()
+	_, toSlice := tu.(*types.Slice)
+	_, fromSlice := au.(*types.Slice)
+	toStr := isStringType(tu)
+	fromStr := isStringType(au)
+	if (toSlice && fromStr) || (toStr && fromSlice) {
+		node.alloc(call.Pos(), "string/slice conversion copies its operand")
+	}
+}
+
+// addUse records a resolved use of fn: a sink use when fn is a banned
+// package-level stdlib function, a call edge otherwise.
+func (n *FuncNode) addUse(fn *types.Func, pos token.Pos, isRef bool) {
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() == nil {
+		if rule, name := sinkOf(fn); rule != "" {
+			n.Sinks = append(n.Sinks, SinkUse{Rule: rule, Name: name, Pos: pos, IsRef: isRef})
+			return
+		}
+	}
+	n.Calls = append(n.Calls, CallEdge{Callee: fn, Pos: pos, IsRef: isRef})
+}
+
+func (n *FuncNode) alloc(pos token.Pos, what string) {
+	n.Allocs = append(n.Allocs, AllocSite{Pos: pos, What: what})
+}
+
+// sinkOf classifies a package-level stdlib function as a taint sink. Methods
+// never match (time.Time.After is pure; only the package function time.After
+// touches the clock).
+func sinkOf(fn *types.Func) (rule, name string) {
+	if fn.Pkg() == nil {
+		return "", ""
+	}
+	switch path := fn.Pkg().Path(); path {
+	case "time":
+		if wallclockFuncs[fn.Name()] {
+			return RuleWallclock, "time." + fn.Name()
+		}
+	case "os":
+		switch fn.Name() {
+		case "Getenv", "LookupEnv", "Environ":
+			return RuleGlobalRand, "os." + fn.Name()
+		}
+	case "math/rand", "math/rand/v2", "crypto/rand":
+		return RuleGlobalRand, path + "." + fn.Name()
+	}
+	return "", ""
+}
+
+// paramTypeAt returns the effective type of argument i against sig,
+// unwrapping the variadic tail.
+func paramTypeAt(sig *types.Signature, i int) (types.Type, bool) {
+	params := sig.Params()
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		sl, ok := last.(*types.Slice)
+		if !ok {
+			return nil, false
+		}
+		return sl.Elem(), true
+	}
+	if i >= params.Len() {
+		return nil, false
+	}
+	return params.At(i).Type(), true
+}
+
+// paramName names parameter i for diagnostics ("v" or "#2" when unnamed).
+func paramName(sig *types.Signature, i int) string {
+	params := sig.Params()
+	j := i
+	if sig.Variadic() && j >= params.Len()-1 {
+		j = params.Len() - 1
+	}
+	if j < params.Len() {
+		if name := params.At(j).Name(); name != "" {
+			return name
+		}
+	}
+	return "#" + strconv.Itoa(i)
+}
+
+func isInterfaceType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringValue reports whether expression e has string type.
+func isStringValue(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && isStringType(tv.Type)
+}
+
+// shortFuncName renders fn compactly for call chains: "F" for functions,
+// "T.M" for methods, with the package's base name prefixed when fn lives in
+// a different package than from ("taintutil.HostStamp").
+func shortFuncName(fn *types.Func, from *types.Package) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg() != from {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -11,6 +11,11 @@ import (
 //
 //	start := time.Now() //ecolint:allow wallclock — telemetry timer
 //
+// A comma-separated rule list (no spaces) lets one waiver line cover
+// co-located findings from several rules:
+//
+//	//ecolint:allow wallclock,globalrand — manifest records host provenance
+//
 // Placement rules:
 //
 //   - a directive on line L covers diagnostics on line L and on line L+1
@@ -25,9 +30,10 @@ import (
 
 const directivePrefix = "ecolint:allow"
 
-// directive is one parsed //ecolint:allow annotation.
+// directive is one parsed //ecolint:allow annotation. rules has one entry
+// per name in the (possibly comma-separated) rule list.
 type directive struct {
-	rule   string
+	rules  []string
 	reason string
 	pos    token.Position
 	// cover is the declaration range the directive applies to when it sits
@@ -95,14 +101,25 @@ func collectDirectives(fset *token.FileSet, pkg *Package) directiveSet {
 	return set
 }
 
-// parseDirective splits "ecolint:allow <rule> — <reason>" after the prefix.
-// It returns a problem string for malformed directives.
+// parseDirective splits "ecolint:allow <rule>[,<rule>...] — <reason>" after
+// the prefix. It returns a problem string for malformed directives.
 func parseDirective(rest string, pos token.Position) (directive, string) {
 	rest = strings.TrimSpace(rest)
-	rule, reason, _ := strings.Cut(rest, " ")
-	rule = strings.TrimSuffix(rule, ":")
-	if !knownRule(rule) {
-		return directive{}, "allow directive names unknown rule " + strings.TrimSpace(rule)
+	ruleList, reason, _ := strings.Cut(rest, " ")
+	ruleList = strings.TrimSuffix(ruleList, ":")
+	var rules []string
+	for _, rule := range strings.Split(ruleList, ",") {
+		rule = strings.TrimSpace(rule)
+		if rule == "" {
+			return directive{}, "allow directive has an empty entry in its rule list (write rule,rule with no spaces)"
+		}
+		if !knownRule(rule) {
+			return directive{}, "allow directive names unknown rule " + rule
+		}
+		rules = append(rules, rule)
+	}
+	if len(rules) == 0 {
+		return directive{}, "allow directive names unknown rule"
 	}
 	reason = strings.TrimSpace(reason)
 	// Strip a leading separator: "—", "--", "-", ":".
@@ -113,15 +130,16 @@ func parseDirective(rest string, pos token.Position) (directive, string) {
 		}
 	}
 	if reason == "" {
-		return directive{}, "allow directive for " + rule + " is missing a reason"
+		return directive{}, "allow directive for " + strings.Join(rules, ",") + " is missing a reason"
 	}
-	return directive{rule: rule, reason: reason, pos: pos}, ""
+	return directive{rules: rules, reason: reason, pos: pos}, ""
 }
 
 // knownRule reports whether name is a waivable rule.
 func knownRule(name string) bool {
 	switch name {
-	case RuleWallclock, RuleGlobalRand, RuleExplicitSource, RuleFloatEq, RuleOrderedOutput, RuleGoroutine:
+	case RuleWallclock, RuleGlobalRand, RuleExplicitSource, RuleFloatEq,
+		RuleOrderedOutput, RuleGoroutine, RuleHotpath, RuleSharedWrite:
 		return true
 	}
 	return false
@@ -142,7 +160,7 @@ func (s directiveSet) filter(diags []Diagnostic) []Diagnostic {
 // covers reports whether some directive waives d.
 func (s directiveSet) covers(d Diagnostic) bool {
 	for _, dir := range s.byFile[d.File] {
-		if dir.rule != d.Rule {
+		if !dir.allows(d.Rule) {
 			continue
 		}
 		if dir.coverEnd > 0 {
@@ -152,6 +170,16 @@ func (s directiveSet) covers(d Diagnostic) bool {
 			continue
 		}
 		if d.Line == dir.pos.Line || d.Line == dir.pos.Line+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// allows reports whether the directive's rule list contains rule.
+func (d directive) allows(rule string) bool {
+	for _, r := range d.rules {
+		if r == rule {
 			return true
 		}
 	}

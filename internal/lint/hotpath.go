@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Hot-path purity
+//
+// The SoA engine's span APIs — Server.DemandAt's hit path, the kernel
+// refill, DataCenter.ObserveSpan/WarmSpan/UtilSpan, par.Pool.Range's
+// dispatch — are pinned zero-alloc by testing.AllocsPerRun tests
+// (internal/dc/alloc_test.go). Those pins only fire on the exact inputs the
+// tests construct; a new helper three calls deep can reintroduce a
+// per-server allocation that the pinned entry points never exercise. The
+// hotpath rule makes the pin a compile-time property: a function whose doc
+// comment carries
+//
+//	//ecolint:hotpath
+//
+// is a zero-alloc root, and neither it nor any function it reaches through
+// resolved call edges may contain an allocation-inducing construct —
+// make/new/append, slice and map literals, &composite literals, fmt calls,
+// string concatenation and string<->slice conversions, or boxing a concrete
+// value into an interface parameter.
+//
+// Deliberate amortized allocation (grow-once scratch buffers, cold
+// panic-replay paths) is waived in place with //ecolint:allow hotpath and a
+// reason, exactly like every other rule — the waiver documents WHY the
+// allocation cannot recur in steady state.
+//
+// The reachability is the call graph's static under-approximation: calls
+// through function values and interface methods do not extend the hot set.
+// That is the right polarity for a gate — everything flagged really is on
+// the hot path; code only reachable dynamically still has the AllocsPerRun
+// pins behind it.
+
+// runHotpath computes the functions reachable from the //ecolint:hotpath
+// roots and reports every allocation site inside them, with the root chain
+// in the message.
+func runHotpath(w *wpPass) {
+	// parent[fn] = the function through which fn was first reached; roots
+	// map to nil. Breadth-first in Nodes order keeps chains deterministic
+	// and shortest.
+	parent := make(map[*types.Func]*types.Func)
+	var queue []*FuncNode
+	for _, n := range w.prog.Nodes {
+		if n.Hot {
+			parent[n.Fn] = nil
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Calls {
+			callee := w.prog.ByFn[e.Callee]
+			if callee == nil {
+				continue // stdlib or undeclarated; nothing to scan
+			}
+			if _, seen := parent[callee.Fn]; seen {
+				continue
+			}
+			parent[callee.Fn] = n.Fn
+			queue = append(queue, callee)
+		}
+	}
+	for _, n := range w.prog.Nodes {
+		if _, hot := parent[n.Fn]; !hot || !w.simCritical(n.Pkg) {
+			continue
+		}
+		chain, hops := hotChain(w, n, parent)
+		for _, a := range n.Allocs {
+			w.report(a.Pos, RuleHotpath, hops,
+				"%s on the zero-alloc hot path (%s); reuse scratch or move the work off the span APIs", a.What, chain)
+		}
+	}
+}
+
+// hotChain renders the root -> ... -> fn chain of a hot function: compact
+// names for the message, located hops (declaration sites) for
+// Diagnostic.Chain.
+func hotChain(w *wpPass, node *FuncNode, parent map[*types.Func]*types.Func) (compact string, hops []string) {
+	var rev []*types.Func
+	for fn := node.Fn; fn != nil; fn = parent[fn] {
+		rev = append(rev, fn)
+	}
+	names := make([]string, 0, len(rev))
+	hops = make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		fn := rev[i]
+		names = append(names, shortFuncName(fn, node.Pkg.Types))
+		hop := shortFuncName(fn, node.Pkg.Types)
+		if hn := w.prog.ByFn[fn]; hn != nil {
+			p := w.prog.Fset.Position(hn.Decl.Pos())
+			hop += " (" + trimPath(p.Filename) + ":" + strconv.Itoa(p.Line) + ")"
+		}
+		hops = append(hops, hop)
+	}
+	return strings.Join(names, " -> "), hops
+}
+
+// wpPass is the shared context of the whole-program analyzers: the call
+// graph, the scopes, every loaded package's directives (consulted when
+// deciding whether a sink seeds taint), and the subset of packages selected
+// by the caller's patterns — findings are only reported there.
+type wpPass struct {
+	prog     *Program
+	cfg      Config
+	dirs     map[string]directiveSet // by package import path
+	selected map[*Package]bool
+	diags    *[]Diagnostic
+}
+
+// simCritical reports whether findings may be reported in pkg: it must be
+// both selected by the run's patterns and inside the sim-critical scope.
+func (w *wpPass) simCritical(pkg *Package) bool {
+	return w.selected[pkg] && matchScope(pkg.Path, w.cfg.SimCritical)
+}
+
+// waived reports whether a directive in pkg covers a finding of rule at pos.
+func (w *wpPass) waived(pkg *Package, pos token.Pos, rule string) bool {
+	p := w.prog.Fset.Position(pos)
+	return w.dirs[pkg.Path].covers(Diagnostic{File: p.Filename, Line: p.Line, Rule: rule})
+}
+
+// report files one whole-program diagnostic with an optional rendered chain.
+func (w *wpPass) report(pos token.Pos, rule string, chain []string, format string, args ...any) {
+	p := w.prog.Fset.Position(pos)
+	*w.diags = append(*w.diags, Diagnostic{
+		File:    p.Filename,
+		Line:    p.Line,
+		Col:     p.Column,
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+		Chain:   chain,
+	})
+}

@@ -26,24 +26,35 @@ import (
 )
 
 // Rule names, used both in diagnostics ([rule] tags) and in
-// //ecolint:allow directives.
+// //ecolint:allow directives. wallclock and globalrand are enforced twice
+// over: per package at direct call sites, and whole-program by the taint
+// pass (taint.go), which follows the call graph through wrappers, method
+// values and closures. hotpath and sharedwrite exist only at the
+// whole-program level — they are properties of call chains and fan-out
+// callbacks, not of single expressions.
 const (
-	RuleWallclock      = "wallclock"       // time.Now/Since/Sleep/tickers in sim-critical code
-	RuleGlobalRand     = "globalrand"      // math/rand, crypto/rand, os.Getenv in sim-critical code
+	RuleWallclock      = "wallclock"       // host clock in sim-critical code, directly or through a call chain
+	RuleGlobalRand     = "globalrand"      // math/rand, crypto/rand, os.Getenv — directly or through a call chain
 	RuleExplicitSource = "explicit-source" // rng.Source reached through a package-level var
 	RuleFloatEq        = "float-eq"        // == / != between floating-point operands
 	RuleOrderedOutput  = "ordered-output"  // output written while ranging over a map
 	RuleGoroutine      = "goroutine"       // go statements / sync imports outside internal/par
+	RuleHotpath        = "hotpath"         // allocation constructs reachable from an //ecolint:hotpath root
+	RuleSharedWrite    = "sharedwrite"     // par callbacks writing non-span-indexed shared state
 	RuleDirective      = "directive"       // malformed //ecolint:allow annotations
 )
 
 // Diagnostic is one finding, renderable as "file:line:col [rule] message".
+// Whole-program findings carry the proving call chain in Chain, one located
+// hop per entry ("helper (dc/hot.go:75)"), ending at the sink or alloc
+// site's owner; cmd/ecolint renders it under -why and in -json output.
 type Diagnostic struct {
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Rule    string `json:"rule"`
-	Message string `json:"message"`
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Col     int      `json:"col"`
+	Rule    string   `json:"rule"`
+	Message string   `json:"message"`
+	Chain   []string `json:"chain,omitempty"`
 }
 
 // String renders the diagnostic in the canonical one-line form.
@@ -122,7 +133,7 @@ type Analyzer struct {
 	Run             func(*Pass)
 }
 
-// Analyzers returns the full rule suite in reporting order.
+// Analyzers returns the per-package rule suite in reporting order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		analyzerWallclock,
@@ -134,12 +145,30 @@ func Analyzers() []*Analyzer {
 	}
 }
 
+// ProgramRules describes the whole-program rules for -rules listings; they
+// run over the call graph rather than one package at a time, so they have
+// no per-package Run hook.
+func ProgramRules() []*Analyzer {
+	return []*Analyzer{
+		{Name: RuleWallclock + " (taint)", Doc: "flags call chains from sim-critical code to host clock sinks, through wrappers, method values and closures"},
+		{Name: RuleGlobalRand + " (taint)", Doc: "flags call chains from sim-critical code to global randomness / host-state sinks"},
+		{Name: RuleHotpath, Doc: "forbids allocation-inducing constructs in functions reachable from //ecolint:hotpath roots"},
+		{Name: RuleSharedWrite, Doc: "forbids par fan-out callbacks writing captured or package-level state not indexed by the span/item parameter"},
+	}
+}
+
 // Run loads the packages selected by patterns (see Loader.Load) and applies
 // the rule suite, returning the surviving diagnostics sorted by position.
 // Diagnostics waived by a well-formed //ecolint:allow directive are dropped;
 // malformed directives (unknown rule, missing reason) are themselves
 // reported under the "directive" rule.
 func Run(l *Loader, cfg Config, patterns []string) ([]Diagnostic, error) {
+	return run(l, cfg, patterns, true)
+}
+
+// run is Run with the whole-program pass optional, so tests can measure
+// exactly what the per-package analyzers alone can and cannot see.
+func run(l *Loader, cfg Config, patterns []string, wholeProgram bool) ([]Diagnostic, error) {
 	pkgs, err := l.Load(patterns)
 	if err != nil {
 		return nil, err
@@ -153,8 +182,45 @@ func Run(l *Loader, cfg Config, patterns []string) ([]Diagnostic, error) {
 			}
 			a.Run(pass)
 		}
-		dirs := collectDirectives(l.Fset, pkg)
-		diags = dirs.filter(diags)
+	}
+	selDirs := make([]directiveSet, len(pkgs))
+	for i, pkg := range pkgs {
+		selDirs[i] = collectDirectives(l.Fset, pkg)
+	}
+	// Whole-program pass: the call graph spans every module-internal package
+	// the loader touched — the selected ones plus their transitive imports —
+	// so taint crosses package boundaries, but findings land only in the
+	// selected packages. Directives from ALL loaded packages participate:
+	// a waived sink in a dependency must not seed taint.
+	if wholeProgram {
+		all := l.Packages()
+		dirs := make(map[string]directiveSet, len(all))
+		for i, pkg := range pkgs {
+			dirs[pkg.Path] = selDirs[i]
+		}
+		selected := make(map[*Package]bool, len(pkgs))
+		for _, pkg := range pkgs {
+			selected[pkg] = true
+		}
+		for _, pkg := range all {
+			if _, ok := dirs[pkg.Path]; !ok {
+				dirs[pkg.Path] = collectDirectives(l.Fset, pkg)
+			}
+		}
+		w := &wpPass{
+			prog:     buildProgram(l.Fset, all),
+			cfg:      cfg,
+			dirs:     dirs,
+			selected: selected,
+			diags:    &diags,
+		}
+		runTaint(w)
+		runHotpath(w)
+		runSharedWrite(w)
+	}
+	// Waiver filtering + malformed-directive findings, per selected package.
+	for i := range pkgs {
+		diags = selDirs[i].filter(diags)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -108,37 +108,51 @@ func TestFixturesMatchWants(t *testing.T) {
 // findings, nothing from any other rule.
 func TestEachRuleFixture(t *testing.T) {
 	cases := []struct {
-		pkg  string
-		rule string
+		pkg   string
+		rules []string
 	}{
-		{"fixture/wallclock", RuleWallclock},
-		{"fixture/globalrand", RuleGlobalRand},
-		{"fixture/explicitsource", RuleExplicitSource},
-		{"fixture/floateq", RuleFloatEq},
-		{"fixture/orderedoutput", RuleOrderedOutput},
-		{"fixture/goroutine", RuleGoroutine},
+		{"fixture/wallclock", []string{RuleWallclock}},
+		{"fixture/globalrand", []string{RuleGlobalRand}},
+		{"fixture/explicitsource", []string{RuleExplicitSource}},
+		{"fixture/floateq", []string{RuleFloatEq}},
+		{"fixture/orderedoutput", []string{RuleOrderedOutput}},
+		{"fixture/goroutine", []string{RuleGoroutine}},
+		{"fixture/taint", []string{RuleWallclock, RuleGlobalRand}},
+		{"fixture/hotpath", []string{RuleHotpath}},
+		{"fixture/sharedwrite", []string{RuleSharedWrite}},
 	}
 	for _, tc := range cases {
-		t.Run(tc.rule, func(t *testing.T) {
+		t.Run(strings.TrimPrefix(tc.pkg, "fixture/"), func(t *testing.T) {
 			diags, err := Run(fixtureLoader(t), DefaultConfig(), []string{tc.pkg})
 			if err != nil {
 				t.Fatal(err)
 			}
-			n := 0
+			seen := map[string]int{}
 			for _, d := range diags {
-				switch d.Rule {
-				case tc.rule:
-					n++
-				case RuleDirective: // directives.go in the wallclock fixture
+				switch {
+				case slicesContains(tc.rules, d.Rule):
+					seen[d.Rule]++
+				case d.Rule == RuleDirective: // deliberate malformed-directive cases
 				default:
 					t.Errorf("unexpected %s", d)
 				}
 			}
-			if n == 0 {
-				t.Fatalf("no %s findings in %s", tc.rule, tc.pkg)
+			for _, rule := range tc.rules {
+				if seen[rule] == 0 {
+					t.Errorf("no %s findings in %s", rule, tc.pkg)
+				}
 			}
 		})
 	}
+}
+
+func slicesContains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 // TestCleanFixture pins the false-positive rate: the clean package must
@@ -199,18 +213,24 @@ func TestMatchScope(t *testing.T) {
 	}
 }
 
-// TestDirectiveParsing covers the annotation grammar.
+// TestDirectiveParsing covers the annotation grammar, comma-separated rule
+// lists included.
 func TestDirectiveParsing(t *testing.T) {
 	cases := []struct {
 		in      string
-		rule    string
+		rules   string // comma-joined expectation
 		problem bool
 	}{
 		{" wallclock — telemetry timer", "wallclock", false},
 		{" wallclock -- telemetry timer", "wallclock", false},
 		{" float-eq: bitwise compare", "float-eq", false},
-		{" wallclock", "", true},        // missing reason
-		{" clockwork — nope", "", true}, // unknown rule
+		{" wallclock,globalrand — provenance line", "wallclock,globalrand", false},
+		{" wallclock,globalrand,hotpath — kitchen sink", "wallclock,globalrand,hotpath", false},
+		{" wallclock", "", true},                  // missing reason
+		{" clockwork — nope", "", true},           // unknown rule
+		{" wallclock,clockwork — nope", "", true}, // one bad entry poisons the list
+		{" wallclock, globalrand — x", "", true},  // space splits the list: trailing comma
+		{" wallclock,globalrand", "", true},       // list without a reason
 		{"", "", true},
 	}
 	for _, tc := range cases {
@@ -219,10 +239,120 @@ func TestDirectiveParsing(t *testing.T) {
 			t.Errorf("parseDirective(%q): problem = %q, want problem=%v", tc.in, problem, tc.problem)
 			continue
 		}
-		if !tc.problem && d.rule != tc.rule {
-			t.Errorf("parseDirective(%q): rule = %q, want %q", tc.in, d.rule, tc.rule)
+		if !tc.problem {
+			if got := strings.Join(d.rules, ","); got != tc.rules {
+				t.Errorf("parseDirective(%q): rules = %q, want %q", tc.in, got, tc.rules)
+			}
 		}
 	}
+}
+
+// TestDirectiveAllows covers the rule-list membership check.
+func TestDirectiveAllows(t *testing.T) {
+	d := directive{rules: []string{RuleWallclock, RuleGlobalRand}}
+	if !d.allows(RuleWallclock) || !d.allows(RuleGlobalRand) {
+		t.Error("directive must allow every rule in its list")
+	}
+	if d.allows(RuleHotpath) {
+		t.Error("directive must not allow rules outside its list")
+	}
+}
+
+// findLine returns the 1-based number of the first line of path containing
+// substr, so tests can anchor on code shapes instead of line numbers.
+func findLine(t *testing.T, path, substr string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, substr) {
+			return i + 1
+		}
+	}
+	t.Fatalf("%s: no line contains %q", path, substr)
+	return 0
+}
+
+// TestTaintCatchesLaunderedSinks is the regression test for the whole point
+// of the taint pass: sim-critical code that launders time.Now through a
+// local wrapper, a method value or a second wrapper is invisible to the
+// per-package analyzers (run with wholeProgram=false) and must be flagged by
+// the full Run with the proving chain in the message and in Chain.
+func TestTaintCatchesLaunderedSinks(t *testing.T) {
+	file := filepath.Join(fixtureRoot, "taint", "taint.go")
+	laundered := map[string]int{
+		"wrapper call":     findLine(t, file, "wallNow().Sub"),
+		"captured sink":    findLine(t, file, "clock := time.Now"),
+		"two-deep wrapper": findLine(t, file, "return Uptime(started) * 2"),
+	}
+	l := fixtureLoader(t)
+
+	direct, err := run(l, DefaultConfig(), []string{"fixture/taint"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onLine := func(diags []Diagnostic, line int) *Diagnostic {
+		for i, d := range diags {
+			if strings.HasSuffix(d.File, "taint/taint.go") && d.Line == line {
+				return &diags[i]
+			}
+		}
+		return nil
+	}
+	for shape, line := range laundered {
+		if d := onLine(direct, line); d != nil {
+			t.Errorf("per-package analyzers unexpectedly caught the %s (line %d): %s\n(the taint regression test needs a shape they miss)", shape, line, d)
+		}
+	}
+
+	full, err := Run(l, DefaultConfig(), []string{"fixture/taint"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shape, line := range laundered {
+		d := onLine(full, line)
+		if d == nil {
+			t.Errorf("taint pass missed the %s on line %d", shape, line)
+			continue
+		}
+		if d.Rule != RuleWallclock {
+			t.Errorf("%s flagged under %s, want %s", shape, d.Rule, RuleWallclock)
+		}
+	}
+	// The two-deep wrapper's diagnostic must carry the full proving chain.
+	if d := onLine(full, laundered["two-deep wrapper"]); d != nil {
+		const chain = "Doubly -> Uptime -> wallNow -> time.Now"
+		if !strings.Contains(d.Message, chain) {
+			t.Errorf("chain not rendered in message:\n got %q\nwant substring %q", d.Message, chain)
+		}
+		if len(d.Chain) != 4 {
+			t.Errorf("Chain = %q, want 4 located hops ending in time.Now", d.Chain)
+		} else if d.Chain[3] != "time.Now" {
+			t.Errorf("Chain ends in %q, want time.Now", d.Chain[3])
+		}
+	}
+}
+
+// TestHotpathChain verifies the hotpath rule connects a root to an
+// allocation three calls deep and names the chain.
+func TestHotpathChain(t *testing.T) {
+	file := filepath.Join(fixtureRoot, "hotpath", "hotpath.go")
+	line := findLine(t, file, "buf := make([]float64, 4)")
+	diags, err := Run(fixtureLoader(t), DefaultConfig(), []string{"fixture/hotpath"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Line == line && d.Rule == RuleHotpath {
+			if !strings.Contains(d.Message, "Demand -> total -> grow") {
+				t.Errorf("hotpath chain not rendered: %q", d.Message)
+			}
+			return
+		}
+	}
+	t.Fatalf("no hotpath finding on line %d (make in grow)", line)
 }
 
 // TestRepositoryIsClean lints the real module with the default

@@ -64,6 +64,22 @@ func NewLoader(moduleRoot string) (*Loader, error) {
 // ModulePath returns the module path declared in go.mod.
 func (l *Loader) ModulePath() string { return l.modulePath }
 
+// Packages returns every module-internal package loaded so far — the
+// explicitly requested ones plus their transitively imported dependencies —
+// sorted by import path. The whole-program analyzers build their call graph
+// over this set, so taint can cross package boundaries even when only one
+// package was selected.
+func (l *Loader) Packages() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, pkg := range l.pkgs {
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // readModulePath extracts the module declaration from a go.mod file.
 func readModulePath(gomod string) (string, error) {
 	data, err := os.ReadFile(gomod)

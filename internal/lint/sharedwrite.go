@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shared-write discipline for par callbacks
+//
+// internal/par's determinism contract (rule 2 of its package doc) says a
+// shard callback must write only per-item state: result slots indexed by
+// the span/item parameter, never a shared accumulator or package-level
+// variable. Until now that rule lived in documentation and -race runs; the
+// sharedwrite rule checks it statically.
+//
+// For every call that hands a function to an audited concurrency package
+// (Config.Concurrency — internal/par and the fixture stand-in), the rule
+// inspects the callback body and flags any write whose target is
+//
+//   - a package-level variable, or
+//   - a variable captured from an enclosing scope,
+//
+// unless some index on the write's path mentions a variable local to the
+// callback (its span/item parameter, or a loop variable derived from it).
+// `out[i] = f(i)` and `slots[sp.Index] = v` pass; `sum += v` and
+// `total = x` are findings: the first races, and even made race-free its
+// fold order would depend on the worker schedule, which is exactly the
+// nondeterminism par exists to exclude.
+//
+// Both function literals and named functions passed by name are checked (a
+// named callback is analyzed at its declaration, once). Writes hidden
+// behind method calls on captured state are out of static reach and remain
+// the province of the -race CI job; the rule closes the shapes the
+// repository actually uses.
+
+// runSharedWrite scans every sim-critical function for fan-out calls into
+// the audited concurrency packages and checks the callbacks they pass.
+func runSharedWrite(w *wpPass) {
+	seen := make(map[*FuncNode]bool) // named callbacks, checked once
+	for _, n := range w.prog.Nodes {
+		if !w.simCritical(n.Pkg) {
+			continue
+		}
+		info := n.Pkg.Info
+		ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+			call, ok := nd.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := resolvedCallee(info, call)
+			if callee == nil || callee.Pkg() == nil || !matchScope(callee.Pkg().Path(), w.cfg.Concurrency) {
+				return true
+			}
+			sig, ok := callee.Type().(*types.Signature)
+			if !ok {
+				return true
+			}
+			calleeName := shortFuncName(callee, n.Pkg.Types)
+			for i, arg := range call.Args {
+				pt, ok := paramTypeAt(sig, i)
+				if !ok {
+					continue
+				}
+				if _, isFunc := pt.Underlying().(*types.Signature); !isFunc {
+					continue
+				}
+				switch a := unparen(arg).(type) {
+				case *ast.FuncLit:
+					checkCallback(w, n.Pkg, calleeName, a.Pos(), a.End(), a.Body)
+				case *ast.Ident:
+					if fn, ok := info.Uses[a].(*types.Func); ok {
+						if cb := w.prog.ByFn[fn]; cb != nil && !seen[cb] && w.simCritical(cb.Pkg) {
+							seen[cb] = true
+							checkCallback(w, cb.Pkg, calleeName, cb.Decl.Pos(), cb.Decl.End(), cb.Decl.Body)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// resolvedCallee returns the statically resolved function a call invokes,
+// or nil for dynamic calls, conversions and builtins.
+func resolvedCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// checkCallback flags shared writes in one callback body. [lo, hi) is the
+// source range of the whole callback (type and body): a variable declared
+// inside it — parameters included — is callback-local.
+func checkCallback(w *wpPass, pkg *Package, calleeName string, lo, hi token.Pos, body *ast.BlockStmt) {
+	info := pkg.Info
+	local := func(v *types.Var) bool { return v.Pos() >= lo && v.Pos() < hi }
+	checkWrite := func(target ast.Expr) {
+		if id, ok := unparen(target).(*ast.Ident); ok && id.Name == "_" {
+			return
+		}
+		root := rootVar(info, target)
+		if root == nil || local(root) {
+			return
+		}
+		if indexedByLocal(info, target, lo, hi) {
+			return
+		}
+		kind := "captured variable"
+		if root.Pkg() != nil && root.Parent() == root.Pkg().Scope() {
+			kind = "package-level variable"
+		}
+		w.report(target.Pos(), RuleSharedWrite, nil,
+			"callback passed to %s writes %s %s without indexing by a callback-local variable; shards may not share mutable state (see internal/par)",
+			calleeName, kind, root.Name())
+	}
+	ast.Inspect(body, func(nd ast.Node) bool {
+		switch s := nd.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true
+			}
+			for _, l := range s.Lhs {
+				checkWrite(l)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(s.X)
+		case *ast.RangeStmt:
+			if s.Tok == token.ASSIGN {
+				if s.Key != nil {
+					checkWrite(s.Key)
+				}
+				if s.Value != nil {
+					checkWrite(s.Value)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// indexedByLocal reports whether any index expression inside target mentions
+// a variable declared within [lo, hi) — the per-item addressing pattern the
+// par contract requires (slot[i], out[sp.Index], row[sp.Lo:sp.Hi]).
+func indexedByLocal(info *types.Info, target ast.Expr, lo, hi token.Pos) bool {
+	found := false
+	checkIdx := func(idx ast.Expr) {
+		if idx == nil {
+			return
+		}
+		ast.Inspect(idx, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && v.Pos() >= lo && v.Pos() < hi {
+					found = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(target, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.IndexExpr:
+			checkIdx(x.Index)
+		case *ast.SliceExpr:
+			checkIdx(x.Low)
+			checkIdx(x.High)
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Determinism taint
+//
+// The wallclock and globalrand analyzers catch direct uses of the banned
+// stdlib sinks; this pass catches the laundered ones. Taint starts at every
+// unwaived sink use — a call OR a value capture (f := time.Now), which the
+// call-site analyzers cannot see at all — and flows backwards along the call
+// graph: a function that calls (or captures) a tainted function is itself
+// tainted. Every sim-critical call site whose callee is tainted is then a
+// finding under the original rule, with the full chain rendered in the
+// message:
+//
+//	runner.go:42:9 [wallclock] call chain reaches time.Now:
+//	    Observe -> stamp -> time.Now; sim-critical code must use virtual time
+//
+// Waivers compose with propagation instead of fighting it: a sink use
+// covered by an //ecolint:allow directive is not a seed, so an audited
+// wall-clock helper (obs.Recorder.StartTimer, the run manifest) does not
+// taint its callers — the annotation's reason covers the function's purpose,
+// and re-flagging every caller would only breed reasonless waivers. An
+// indirect finding is waived like any other, at the call site it is reported
+// on.
+//
+// The pass reports two shapes:
+//
+//  1. a direct sink *reference* (IsRef) — the captured-function laundering
+//     itself, invisible to the per-package analyzers;
+//  2. a call or capture of a module function that taint proves reaches a
+//     sink — reported at the edge, chain in the message and in
+//     Diagnostic.Chain (rendered by cmd/ecolint -why and -json).
+//
+// Direct sink *calls* stay with the per-package analyzers: they already
+// report them with rule-specific wording, and double-reporting the same
+// line would be noise.
+
+// taintPath is one function's shortest known route to a sink: either the
+// sink itself (via == nil) or the next function toward it. pos is the
+// position, inside this function, of the call/ref that advances the chain.
+type taintPath struct {
+	sink SinkUse
+	via  *types.Func
+	pos  token.Pos
+}
+
+// propagateTaint runs a breadth-first fixpoint from every unwaived sink use
+// of rule backwards over the call graph, returning each tainted function's
+// shortest chain. BFS over Nodes order keeps chains deterministic.
+func propagateTaint(w *wpPass, rule string) map[*types.Func]*taintPath {
+	tainted := make(map[*types.Func]*taintPath)
+	// Reverse adjacency: callee -> the edges that reach it.
+	type revEdge struct {
+		caller *FuncNode
+		pos    token.Pos
+	}
+	rev := make(map[*types.Func][]revEdge)
+	var queue []*FuncNode
+	for _, n := range w.prog.Nodes {
+		for _, e := range n.Calls {
+			rev[e.Callee] = append(rev[e.Callee], revEdge{caller: n, pos: e.Pos})
+		}
+		for _, su := range n.Sinks {
+			if su.Rule != rule || w.waived(n.Pkg, su.Pos, rule) {
+				continue
+			}
+			if tainted[n.Fn] == nil {
+				tainted[n.Fn] = &taintPath{sink: su, pos: su.Pos}
+				queue = append(queue, n)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range rev[n.Fn] {
+			c := e.caller
+			if tainted[c.Fn] != nil {
+				continue
+			}
+			tainted[c.Fn] = &taintPath{sink: tainted[n.Fn].sink, via: n.Fn, pos: e.pos}
+			queue = append(queue, c)
+		}
+	}
+	return tainted
+}
+
+// taintChain renders the chain for a finding in node at edge e: compact
+// names for the message ("Observe -> stamp -> time.Now") and located hops
+// for Diagnostic.Chain.
+func taintChain(w *wpPass, node *FuncNode, e CallEdge, tainted map[*types.Func]*taintPath) (compact string, hops []string) {
+	var names []string
+	add := func(fn *types.Func, pos token.Pos) {
+		names = append(names, shortFuncName(fn, node.Pkg.Types))
+		p := w.prog.Fset.Position(pos)
+		hops = append(hops, shortFuncName(fn, node.Pkg.Types)+" ("+trimPath(p.Filename)+":"+strconv.Itoa(p.Line)+")")
+	}
+	add(node.Fn, e.Pos)
+	cur := e.Callee
+	for cur != nil {
+		tp := tainted[cur]
+		if tp == nil {
+			break // defensive; the caller only asks about tainted callees
+		}
+		add(cur, tp.pos)
+		if tp.via == nil {
+			names = append(names, tp.sink.Name)
+			hops = append(hops, tp.sink.Name)
+			break
+		}
+		cur = tp.via
+	}
+	return strings.Join(names, " -> "), hops
+}
+
+// runTaint reports the laundered-sink findings over the whole program.
+func runTaint(w *wpPass) {
+	for _, rule := range []string{RuleWallclock, RuleGlobalRand} {
+		tainted := propagateTaint(w, rule)
+		advice := "sim-critical code must use virtual time"
+		if rule == RuleGlobalRand {
+			advice = "sim-critical code must take randomness and host state as explicit inputs"
+		}
+		for _, n := range w.prog.Nodes {
+			if !w.simCritical(n.Pkg) {
+				continue
+			}
+			// Shape 1: sinks captured as values — the per-package analyzers
+			// only see call expressions.
+			for _, su := range n.Sinks {
+				if su.Rule == rule && su.IsRef {
+					w.report(su.Pos, rule, nil,
+						"%s captured as a function value; %s", su.Name, advice)
+				}
+			}
+			// Shape 2: edges into tainted module functions.
+			for _, e := range n.Calls {
+				if tainted[e.Callee] == nil {
+					continue
+				}
+				chain, hops := taintChain(w, n, e, tainted)
+				verb := "call chain reaches"
+				if e.IsRef {
+					verb = "captured function reaches"
+				}
+				w.report(e.Pos, rule, hops,
+					"%s %s: %s; %s", verb, tainted[e.Callee].sink.Name, chain, advice)
+			}
+		}
+	}
+}
+
+// trimPath keeps the last two path segments — enough to identify a file in
+// a chain hop without repeating the module root on every line.
+func trimPath(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) <= 2 {
+		return path
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

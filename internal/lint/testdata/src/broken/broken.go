@@ -1,0 +1,6 @@
+// Package broken fails to type-check on purpose: pointing cmd/ecolint at it
+// must produce a load error (exit code 2), not findings (1) or silence (0).
+package broken
+
+// Boom references an identifier that does not exist.
+func Boom() int { return undefinedIdent }

@@ -1,0 +1,5 @@
+// Deliberately broken mini-module: cmd/ecolint must exit 2 (load error)
+// when pointed here, and CI's lint-fixtures target asserts exactly that.
+module broken
+
+go 1.22

@@ -1,0 +1,95 @@
+// Package hotpath exercises the hotpath rule: a function whose doc comment
+// carries //ecolint:hotpath is a zero-alloc root, and no function it reaches
+// through resolved calls may contain an allocation-inducing construct.
+package hotpath
+
+import "fmt"
+
+// Demand is the fixture's zero-alloc root, mirroring Server.DemandAt: the
+// chain Demand -> total -> grow proves an allocation three calls deep, which
+// no per-function check could connect to the root.
+//
+//ecolint:hotpath
+func Demand(out []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out[i-lo] = total(i)
+	}
+}
+
+// total is hot by reachability, not by annotation.
+func total(i int) float64 {
+	buf := grow(i)
+	return buf[0]
+}
+
+// grow allocates a fresh buffer per call — the regression the rule exists
+// to catch.
+func grow(i int) []float64 {
+	buf := make([]float64, 4) // want hotpath
+	buf[0] = float64(i)
+	return buf
+}
+
+// Trace logs from the hot path: the fmt call is the finding (boxing of its
+// arguments is subsumed by it).
+//
+//ecolint:hotpath
+func Trace(i int) {
+	fmt.Println("tick", i) // want hotpath
+}
+
+// Label concatenates strings on the hot path.
+//
+//ecolint:hotpath
+func Label(name, unit string) string {
+	return name + unit // want hotpath
+}
+
+// Box passes a concrete value to an interface parameter, which boxes.
+//
+//ecolint:hotpath
+func Box(i int) {
+	sink(i) // want hotpath
+}
+
+func sink(v any) { _ = v }
+
+// Bytes converts string to []byte, which copies.
+//
+//ecolint:hotpath
+func Bytes(s string) []byte {
+	return []byte(s) // want hotpath
+}
+
+// Enqueue hides the append inside a closure; the literal's body is
+// attributed to the enclosing declaration.
+//
+//ecolint:hotpath
+func Enqueue(q []int, v int) []int {
+	push := func() []int { return append(q, v) } // want hotpath
+	return push()
+}
+
+// WaivedGrow documents a deliberate amortized allocation in place.
+//
+//ecolint:hotpath
+func WaivedGrow(n int) []int {
+	return make([]int, n) //ecolint:allow hotpath — fixture: grow-once scratch, amortized to zero in steady state
+}
+
+// Cold allocates freely: it is not reachable from any root, so the rule has
+// nothing to say about it.
+func Cold(n int) []int {
+	return make([]int, n)
+}
+
+// Sample mirrors dc.TickSample: a plain value struct.
+type Sample struct{ N int }
+
+// Value returns a struct value; composite struct literals stay on the stack
+// and must not be flagged.
+//
+//ecolint:hotpath
+func Value(i int) Sample {
+	return Sample{N: i}
+}

@@ -16,3 +16,30 @@ func Run(workers int) {
 	}
 	wg.Wait()
 }
+
+// Span is one contiguous shard of items, mirroring the real par.Span: the
+// sharedwrite rule's "index by the span parameter" contract is phrased
+// against this shape.
+type Span struct {
+	Index  int // shard number
+	Lo, Hi int // item range [Lo, Hi)
+}
+
+// Pool mirrors the real worker pool's fan-out surface.
+type Pool struct{ workers int }
+
+// NewPool returns a pool stand-in.
+func NewPool(workers int) *Pool { return &Pool{workers: workers} }
+
+// Range invokes fn once per span. The fixture version runs sequentially —
+// the rules under test are about the callbacks, not the dispatch.
+func (p *Pool) Range(n int, fn func(Span)) {
+	fn(Span{Index: 0, Lo: 0, Hi: n})
+}
+
+// For invokes fn once per item index.
+func For(p *Pool, n int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

@@ -1,0 +1,77 @@
+// Package sharedwrite exercises the sharedwrite rule: callbacks handed to
+// the audited concurrency package may write only state indexed by a
+// callback-local variable (the span/item parameter or a loop variable),
+// never a shared accumulator or package-level variable.
+package sharedwrite
+
+import "fixture/par"
+
+// BadFold accumulates into a captured variable: the write races across
+// shards, and even race-free its fold order would follow the worker
+// schedule.
+func BadFold(p *par.Pool, xs []float64) float64 {
+	var sum float64
+	p.Range(len(xs), func(sp par.Span) {
+		for i := sp.Lo; i < sp.Hi; i++ {
+			sum += xs[i] // want sharedwrite
+		}
+	})
+	return sum
+}
+
+// total is the package-level variable BadGlobal and fill write.
+var total float64
+
+// BadGlobal writes a package-level variable from the callback.
+func BadGlobal(p *par.Pool, xs []float64) {
+	p.Range(len(xs), func(sp par.Span) {
+		total = xs[sp.Lo] // want sharedwrite
+	})
+}
+
+// BadCount increments a captured counter from a per-item callback.
+func BadCount(p *par.Pool, n int) int {
+	count := 0
+	par.For(p, n, func(i int) {
+		count++ // want sharedwrite
+	})
+	return count
+}
+
+// fill is a named callback, checked once at its declaration.
+func fill(sp par.Span) {
+	total = float64(sp.Index) // want sharedwrite
+}
+
+// BadNamed passes the shared-writing callback by name.
+func BadNamed(p *par.Pool, n int) {
+	p.Range(n, fill)
+}
+
+// Good writes only span-indexed slots: each shard owns its range.
+func Good(p *par.Pool, xs, out []float64) {
+	p.Range(len(xs), func(sp par.Span) {
+		for i := sp.Lo; i < sp.Hi; i++ {
+			out[i] = xs[i] * 2
+		}
+	})
+}
+
+// GoodItem writes the slot addressed by the item parameter.
+func GoodItem(p *par.Pool, out []int) {
+	par.For(p, len(out), func(i int) {
+		out[i] = i
+	})
+}
+
+// GoodLocal mutates state declared inside the callback: per-shard scratch
+// is exactly how reductions are supposed to start.
+func GoodLocal(p *par.Pool, xs []float64, out []float64) {
+	p.Range(len(xs), func(sp par.Span) {
+		acc := 0.0
+		for i := sp.Lo; i < sp.Hi; i++ {
+			acc += xs[i]
+		}
+		out[sp.Index] = acc
+	})
+}

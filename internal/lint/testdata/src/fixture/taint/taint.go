@@ -1,0 +1,88 @@
+// Package taint exercises the cross-function determinism taint pass: host
+// clock and host state laundered through wrappers, method values and
+// closures that the direct-call analyzers cannot see. Every marked caller
+// line is invisible to the per-package suite and must be caught by taint
+// with the chain in the message (TestTaintCatchesLaunderedSinks pins the
+// difference).
+package taint
+
+import (
+	"os"
+	"time"
+
+	"fixture/taintutil"
+)
+
+// wallNow is the canonical laundering wrapper: the direct analyzer flags
+// the sink inside it, and the taint pass flags every sim-critical caller.
+func wallNow() time.Time {
+	return time.Now() // want wallclock
+}
+
+// Uptime launders the host clock through wallNow.
+func Uptime(started time.Time) time.Duration {
+	return wallNow().Sub(started) // want wallclock
+}
+
+// Doubly is two wrappers away from the sink: the chain the diagnostic
+// renders is Doubly -> Uptime -> wallNow -> time.Now.
+func Doubly(started time.Time) time.Duration {
+	return Uptime(started) * 2 // want wallclock
+}
+
+// stamp hides the sink behind a method value: no time.X call expression
+// exists anywhere in this function, so the pre-taint analyzer suite sees
+// nothing here at all.
+func stamp() time.Time {
+	clock := time.Now // want wallclock
+	return clock()
+}
+
+// Jitter is tainted through the captured sink (Jitter -> stamp -> time.Now).
+func Jitter(now time.Duration) time.Duration {
+	if stamp().IsZero() { // want wallclock
+		return now
+	}
+	return now + time.Millisecond
+}
+
+// viaClosure buries the sink in a closure; the call graph attributes the
+// closure's body to this function.
+func viaClosure() time.Duration {
+	f := func() time.Duration { return time.Duration(time.Now().UnixNano()) } // want wallclock
+	return f()
+}
+
+// Drift is tainted through the closure chain.
+func Drift(now time.Duration) time.Duration {
+	return now + viaClosure() // want wallclock
+}
+
+// CrossPackage reaches the sink through a helper in a sibling package.
+func CrossPackage(now time.Duration) time.Duration {
+	if taintutil.HostStamp().IsZero() { // want wallclock
+		return now
+	}
+	return now
+}
+
+// env launders host state the same way wallNow launders the clock.
+func env() string {
+	return os.Getenv("ECO_DEBUG") // want globalrand
+}
+
+// Configured is tainted with the globalrand rule.
+func Configured() bool {
+	return env() != "" // want globalrand
+}
+
+// pure and UsesPure pin the false-positive rate: calling an untainted
+// helper produces nothing.
+func pure(now time.Duration) time.Duration { return now * 2 }
+
+// UsesPure stays clean.
+func UsesPure(now time.Duration) time.Duration { return pure(now) }
+
+// UsesWaived stays clean too: taintutil.WaivedStamp's sink is waived at the
+// seed, so the taint never reaches this caller.
+func UsesWaived() bool { return taintutil.WaivedStamp().IsZero() }

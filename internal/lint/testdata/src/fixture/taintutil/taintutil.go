@@ -1,0 +1,20 @@
+// Package taintutil provides the cross-package sinks for the taint
+// fixtures: the laundering helper lives here, its sim-critical callers in
+// fixture/taint, so the chain the taint pass must render crosses a package
+// boundary.
+package taintutil
+
+import "time"
+
+// HostStamp reads the host clock on behalf of its callers. The direct-call
+// analyzer flags the sink here; the taint pass additionally flags every
+// sim-critical caller with the chain.
+func HostStamp() time.Time {
+	return time.Now() // want wallclock
+}
+
+// WaivedStamp is annotated wall-clock code: the waiver stops taint at the
+// seed, so callers of WaivedStamp stay clean.
+func WaivedStamp() time.Time {
+	return time.Now() //ecolint:allow wallclock — fixture: audited telemetry helper; must not taint callers
+}

@@ -1,6 +1,9 @@
 package wallclock
 
-import "time"
+import (
+	"os"
+	"time"
+)
 
 // Malformed directives are findings themselves: a waiver must name a known
 // rule and give a reason.
@@ -11,9 +14,22 @@ import "time"
 // want directive
 //ecolint:allow clockwork — no such rule
 
+// want directive
+//ecolint:allow wallclock,clockwork — one bad entry poisons the list
+
+// want directive
+//ecolint:allow wallclock, globalrand — the space splits the rule list
+
 // MissingReason shows that a reasonless directive suppresses nothing.
 func MissingReason() time.Time {
 	// want directive
 	//ecolint:allow wallclock
 	return time.Now() // want wallclock
+}
+
+// CommaList shows one waiver line covering co-located findings from two
+// different rules.
+func CommaList() (time.Time, string) {
+	//ecolint:allow wallclock,globalrand — fixture: one audited provenance line
+	return time.Now(), os.Getenv("HOST")
 }

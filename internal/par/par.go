@@ -69,7 +69,7 @@ func Shards(n int) []Span {
 	if count > maxShards {
 		count = maxShards
 	}
-	spans := make([]Span, count)
+	spans := make([]Span, count) //ecolint:allow hotpath — layout computed once per distinct n; Pool.Range serves repeats from lastSpans
 	size, rem := n/count, n%count
 	lo := 0
 	for i := range spans {
@@ -124,7 +124,7 @@ func (p *Pool) shards(n int) []Span {
 // to n.
 func (p *Pool) scratch(n int) []*shardPanic {
 	if cap(p.panicBuf) < n {
-		p.panicBuf = make([]*shardPanic, n)
+		p.panicBuf = make([]*shardPanic, n) //ecolint:allow hotpath — grow-once scratch, amortized to zero in steady state
 	}
 	p.panicBuf = p.panicBuf[:n]
 	for i := range p.panicBuf {
@@ -209,6 +209,8 @@ func (t task) run() {
 // index order; on a parallel pool they are distributed across the workers.
 // If any shard panics, Range re-panics the panic from the lowest shard index
 // after all shards have completed.
+//
+//ecolint:hotpath
 func (p *Pool) Range(n int, fn func(Span)) {
 	spans := p.shards(n)
 	if !p.Parallel() {
@@ -224,7 +226,7 @@ func (p *Pool) Range(n int, fn func(Span)) {
 	p.done.Wait()
 	for _, sp := range panics {
 		if sp != nil {
-			panic(fmt.Sprintf("par: shard panicked: %v\n%s", sp.val, sp.stack))
+			panic(fmt.Sprintf("par: shard panicked: %v\n%s", sp.val, sp.stack)) //ecolint:allow hotpath — cold panic-replay path, never taken in a healthy run
 		}
 	}
 }
