@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fixtures test bench bench-scale parscale figures faults race cover clean
+.PHONY: all build vet lint lint-fixtures test bench bench-scale parscale figures faults forkedsweep race cover clean
 
 all: build vet lint test
 
@@ -64,6 +64,12 @@ figures:
 # the MTBF x MTTR grid behind out/faults.csv. See DESIGN.md "Failure semantics".
 faults:
 	$(GO) run ./cmd/ecobench -out out -experiments faults
+
+# Checkpoint-branched sensitivity sweep: one warm prefix, the Th/Tl grid and
+# replicate branches forked from it, with an identity-fork byte-identity
+# proof against a from-scratch run. See DESIGN.md "Checkpoint & branch".
+forkedsweep:
+	$(GO) run ./cmd/ecobench -out out -experiments forkedsweep
 
 # Remove run artifacts but keep the checked-in figure CSVs and report.
 clean:

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/ascii"
+	"repro/internal/checkpoint"
 	"repro/internal/cli"
 	"repro/internal/cluster"
 	"repro/internal/dc"
@@ -34,19 +35,93 @@ func main() {
 		plDir     = flag.String("planetlab", "", "load a real CoMon/PlanetLab archive directory (one file per VM) instead of synthesizing")
 		plRef     = flag.Float64("planetlab-ref-mhz", 2400, "host capacity the PlanetLab percentages refer to")
 		faultsRun = flag.Bool("faults", false, "run the fault-injection sweep (crashes, wake failures, lossy fabric) instead of the daily experiment")
+		ckAt      = flag.Duration("checkpoint-at", 0, "capture a full-sim checkpoint at this virtual time (a multiple of the control interval); requires -checkpoint")
+		ckPath    = flag.String("checkpoint", "", "file to write the checkpoint captured at -checkpoint-at")
+		ckStop    = flag.Bool("checkpoint-stop", false, "stop right after the checkpoint is written instead of running to the horizon")
+		resumeCk  = flag.String("resume", "", "resume the run from a checkpoint file instead of t=0 (same seed/fleet/vms flags as the capturing run)")
 	)
 	flag.Parse()
 
 	var err error
-	if *faultsRun {
-		err = runFaults(opts.RunConfig, obsFlags, *outDir)
-	} else {
-		err = run(opts, obsFlags, *outDir, *plDir, *plRef)
+	switch {
+	case *faultsRun:
+		if *ckAt != 0 || *resumeCk != "" {
+			err = fmt.Errorf("checkpoint flags apply to the daily experiment, not -faults")
+		} else {
+			err = runFaults(opts.RunConfig, obsFlags, *outDir)
+		}
+	default:
+		err = bindCheckpointFlags(&opts, *ckAt, *ckPath, *ckStop, *resumeCk)
+		if err == nil {
+			err = run(opts, obsFlags, *outDir, *plDir, *plRef)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ecosim:", err)
 		os.Exit(1)
 	}
+}
+
+// bindCheckpointFlags translates the -checkpoint* / -resume flags into
+// cluster options on the daily run. The written checkpoint carries the
+// capturing run's seed/fleet/vms/horizon in its Meta section; -resume
+// cross-checks those against the current flags before doing any work, since
+// a resumed run is only bit-identical when it rebuilds the same workload
+// and fleet.
+func bindCheckpointFlags(opts *experiments.DailyOptions, at time.Duration, path string, stop bool, resumePath string) error {
+	prov := func() map[string]string {
+		return map[string]string{
+			"experiment": "daily",
+			"seed":       fmt.Sprint(opts.Seed),
+			"servers":    fmt.Sprint(opts.Servers),
+			"vms":        fmt.Sprint(opts.NumVMs),
+			"horizon":    opts.Horizon.String(),
+		}
+	}
+	if resumePath != "" {
+		f, err := os.Open(resumePath)
+		if err != nil {
+			return err
+		}
+		ck, err := checkpoint.Read(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", resumePath, err)
+		}
+		for k, want := range prov() {
+			if got, ok := ck.Meta[k]; ok && got != want {
+				return fmt.Errorf("%s: captured with %s=%s, current flags say %s", resumePath, k, got, want)
+			}
+		}
+		opts.Cluster = append(opts.Cluster, cluster.WithResume(ck))
+	}
+	if at != 0 {
+		if path == "" {
+			return fmt.Errorf("-checkpoint-at requires -checkpoint <file>")
+		}
+		opts.Cluster = append(opts.Cluster, cluster.WithCheckpointAt(at, func(ck *checkpoint.Checkpoint) error {
+			ck.Meta = prov()
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := checkpoint.Write(f, ck); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("ecosim: checkpoint at %v written to %s\n", at, path)
+			return nil
+		}))
+		if stop {
+			opts.Cluster = append(opts.Cluster, cluster.WithCheckpointStop())
+		}
+	} else if stop {
+		return fmt.Errorf("-checkpoint-stop requires -checkpoint-at")
+	}
+	return nil
 }
 
 // runFaults runs the MTBF/MTTR fault-injection sweep instead of the daily
@@ -131,9 +206,14 @@ func run(opts experiments.DailyOptions, obsFlags cli.ObsFlags, outDir, plDir str
 
 	start := time.Now()
 	var res *experiments.DailyResult
-	if plDir != "" {
+	switch {
+	case plDir != "":
 		res, err = runPlanetLab(opts, plDir, plRef)
-	} else {
+	case len(opts.Cluster) > 0:
+		// Checkpoint capture or resume in play: run the daily scenario
+		// directly so the cluster options reach cluster.Run.
+		res, err = experiments.Daily(opts)
+	default:
 		var rr *experiments.RunResult
 		rr, err = experiments.Run("daily", experiments.RunRequest{Config: opts.RunConfig, Eco: &opts.Eco})
 		if err == nil {
@@ -230,7 +310,8 @@ func runPlanetLab(opts experiments.DailyOptions, dir string, refMHz float64) (*e
 	ccfg.Horizon = horizon
 	ccfg.RecordServerUtil = true
 	ccfg.Obs = nil // attached via the option below, not the deprecated field
-	run, err := cluster.Run(ccfg, pol, cluster.WithObs(opts.Obs))
+	copts := append([]cluster.Option{cluster.WithObs(opts.Obs)}, opts.Cluster...)
+	run, err := cluster.Run(ccfg, pol, copts...)
 	if err != nil {
 		return nil, err
 	}

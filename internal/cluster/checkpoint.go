@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// runAccum is the driver's in-flight accounting: the overload integrals
+// shared between control and sample ticks, the energy left-Riemann sum's
+// companions, and the switch-rate window anchors. It exists as a named
+// struct (rather than loose locals in Run) so a checkpoint can carry it
+// across a stop/resume boundary.
+type runAccum struct {
+	vmTicks, vmOverTicks           float64 // whole run
+	vmRAMOverTicks                 float64
+	winVMTicks, winVMOverTicks     float64 // current sample window
+	overDemandMHz, overCapacityMHz float64 // during overloaded ticks
+	activeTickSum, controlTicks    float64
+	lastActivations                int
+	lastHibernation                int
+}
+
+func copySeries(s *metrics.Series) *metrics.Series {
+	return &metrics.Series{
+		Name: s.Name,
+		T:    append([]time.Duration(nil), s.T...),
+		V:    append([]float64(nil), s.V...),
+	}
+}
+
+// captureRunnerState deep-copies the driver's accounting into a serializable
+// RunnerState. Capture is pure reads: a run that checkpoints is bit-identical
+// to one that does not.
+func captureRunnerState(res *Result, rec *Recorder, acc *runAccum) *checkpoint.RunnerState {
+	st := &checkpoint.RunnerState{
+		VMTicks:          acc.vmTicks,
+		VMOverTicks:      acc.vmOverTicks,
+		VMRAMOverTicks:   acc.vmRAMOverTicks,
+		WinVMTicks:       acc.winVMTicks,
+		WinVMOverTicks:   acc.winVMOverTicks,
+		OverDemandMHz:    acc.overDemandMHz,
+		OverCapacityMHz:  acc.overCapacityMHz,
+		ActiveTickSum:    acc.activeTickSum,
+		ControlTicks:     acc.controlTicks,
+		LastActivations:  acc.lastActivations,
+		LastHibernations: acc.lastHibernation,
+		EnergyKWh:        res.EnergyKWh,
+
+		ActiveServers: copySeries(res.ActiveServers),
+		PowerW:        copySeries(res.PowerW),
+		OverallLoad:   copySeries(res.OverallLoad),
+		OverDemandPct: copySeries(res.OverDemandPct),
+		Activations:   copySeries(res.Activations),
+		Hibernations:  copySeries(res.Hibernations),
+
+		Episodes:    res.Episodes.State(),
+		Saturations: rec.Saturations,
+	}
+	for _, t := range res.SampleTimes {
+		st.SampleTimesNS = append(st.SampleTimesNS, int64(t))
+	}
+	for _, row := range res.ServerUtil {
+		st.ServerUtil = append(st.ServerUtil, append([]float64(nil), row...))
+	}
+	if len(rec.migrations) > 0 {
+		st.Migrations = make(map[string]metrics.RateCounterState, len(rec.migrations))
+		for kind, c := range rec.migrations {
+			st.Migrations[kind] = c.State()
+		}
+	}
+	for t, n := range rec.rounds {
+		st.Rounds = append(st.Rounds, checkpoint.RoundCount{TNS: int64(t), N: n})
+	}
+	sort.Slice(st.Rounds, func(i, j int) bool { return st.Rounds[i].TNS < st.Rounds[j].TNS })
+	return st
+}
+
+// restoreRunnerState reinstates a captured RunnerState into a fresh run's
+// result, recorder and accumulators.
+func restoreRunnerState(st *checkpoint.RunnerState, res *Result, rec *Recorder, acc *runAccum) error {
+	if st == nil {
+		return fmt.Errorf("cluster: checkpoint has no runner state")
+	}
+	acc.vmTicks = st.VMTicks
+	acc.vmOverTicks = st.VMOverTicks
+	acc.vmRAMOverTicks = st.VMRAMOverTicks
+	acc.winVMTicks = st.WinVMTicks
+	acc.winVMOverTicks = st.WinVMOverTicks
+	acc.overDemandMHz = st.OverDemandMHz
+	acc.overCapacityMHz = st.OverCapacityMHz
+	acc.activeTickSum = st.ActiveTickSum
+	acc.controlTicks = st.ControlTicks
+	acc.lastActivations = st.LastActivations
+	acc.lastHibernation = st.LastHibernations
+	res.EnergyKWh = st.EnergyKWh
+
+	for _, p := range []struct {
+		dst *metrics.Series
+		src *metrics.Series
+	}{
+		{res.ActiveServers, st.ActiveServers},
+		{res.PowerW, st.PowerW},
+		{res.OverallLoad, st.OverallLoad},
+		{res.OverDemandPct, st.OverDemandPct},
+		{res.Activations, st.Activations},
+		{res.Hibernations, st.Hibernations},
+	} {
+		if p.src == nil {
+			continue
+		}
+		p.dst.T = append([]time.Duration(nil), p.src.T...)
+		p.dst.V = append([]float64(nil), p.src.V...)
+	}
+	for _, ns := range st.SampleTimesNS {
+		res.SampleTimes = append(res.SampleTimes, time.Duration(ns))
+	}
+	for _, row := range st.ServerUtil {
+		res.ServerUtil = append(res.ServerUtil, append([]float64(nil), row...))
+	}
+	res.Episodes.SetState(st.Episodes)
+
+	rec.Saturations = st.Saturations
+	for kind, cs := range st.Migrations {
+		c := metrics.NewRateCounter(kind, rec.interval)
+		c.SetState(cs)
+		rec.migrations[kind] = c
+	}
+	for _, r := range st.Rounds {
+		rec.rounds[time.Duration(r.TNS)] = r.N
+	}
+	return nil
+}
+
+// captureCheckpoint assembles the full checkpoint at the end of the control
+// tick at now. The policy must implement both checkpoint interfaces.
+func captureCheckpoint(cfg *RunConfig, policy Policy, env Env, res *Result, rec *Recorder, acc *runAccum, now time.Duration) (*checkpoint.Checkpoint, error) {
+	co, okC := policy.(checkpoint.Checkpointable)
+	so, okS := policy.(checkpoint.StreamOwner)
+	if !okC || !okS {
+		return nil, fmt.Errorf("policy %q does not support checkpointing", policy.Name())
+	}
+	ck := checkpoint.New(int64(now))
+	ck.Policy = policy.Name()
+	ck.DC = env.DC.Snapshot()
+	reg := rng.NewRegistry()
+	so.RegisterStreams(reg)
+	ck.RNG = reg.States()
+	var err error
+	ck.PolicyState, err = co.MarshalCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	ck.Runner = captureRunnerState(res, rec, acc)
+	if cfg.Obs.Enabled() {
+		snap := cfg.Obs.Snapshot()
+		ck.Obs = &snap
+	}
+	return ck, nil
+}

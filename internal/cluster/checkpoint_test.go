@@ -1,0 +1,173 @@
+package cluster_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/ecocloud"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+var errSink = errors.New("sink failed")
+
+func newEcoPolicy(t *testing.T) cluster.Policy {
+	t.Helper()
+	pol, err := ecocloud.New(ecocloud.DefaultConfig(), 7)
+	if err != nil {
+		t.Fatalf("policy: %v", err)
+	}
+	return pol
+}
+
+// TestDeprecatedObsFieldPrecedence pins the conflict rule: when both the
+// deprecated RunConfig.Obs field and the WithObs option are given, the option
+// wins, the field is ignored, and the winning recorder carries exactly one
+// warning count.
+func TestDeprecatedObsFieldPrecedence(t *testing.T) {
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: []*trace.VM{constVM(0, 100, 0, time.Hour)}}
+	cfg := baseConfig(ws)
+	fieldRec := obs.NewRecorder(nil, nil)
+	optionRec := obs.NewRecorder(nil, nil)
+	cfg.Obs = fieldRec
+
+	if _, err := cluster.Run(cfg, &stuffer{}, cluster.WithObs(optionRec)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n := optionRec.Snapshot().Counters["cluster.deprecated_field_ignored"]; n != 1 {
+		t.Fatalf("winning recorder warning count = %d, want 1", n)
+	}
+	if n := optionRec.Snapshot().Counters["sim.events"]; n == 0 {
+		t.Fatal("winning recorder saw no engine events: option did not take effect")
+	}
+	if got := fieldRec.Snapshot().Counters; len(got) != 0 {
+		t.Fatalf("ignored field recorder received counters: %v", got)
+	}
+}
+
+// TestDeprecatedEventLogFieldPrecedence is the EventLog twin: the option's
+// writer receives the journal, the field's writer stays empty, and the obs
+// recorder carries the single warning.
+func TestDeprecatedEventLogFieldPrecedence(t *testing.T) {
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: []*trace.VM{constVM(0, 100, 0, time.Hour)}}
+	cfg := baseConfig(ws)
+	var fieldLog, optionLog bytes.Buffer
+	rec := obs.NewRecorder(nil, nil)
+	cfg.EventLog = &fieldLog
+
+	if _, err := cluster.Run(cfg, &stuffer{}, cluster.WithEventLog(&optionLog), cluster.WithObs(rec)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if fieldLog.Len() != 0 {
+		t.Fatalf("ignored field writer received %d bytes", fieldLog.Len())
+	}
+	if optionLog.Len() == 0 {
+		t.Fatal("option writer received nothing")
+	}
+	if n := rec.Snapshot().Counters["cluster.deprecated_field_ignored"]; n != 1 {
+		t.Fatalf("warning count = %d, want 1", n)
+	}
+}
+
+// TestSameAttachmentIsNotAConflict: passing the option with the same value
+// the field already holds is redundancy, not a conflict — no warning.
+func TestSameAttachmentIsNotAConflict(t *testing.T) {
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: []*trace.VM{constVM(0, 100, 0, time.Hour)}}
+	cfg := baseConfig(ws)
+	rec := obs.NewRecorder(nil, nil)
+	cfg.Obs = rec
+	if _, err := cluster.Run(cfg, &stuffer{}, cluster.WithObs(rec)); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n := rec.Snapshot().Counters["cluster.deprecated_field_ignored"]; n != 0 {
+		t.Fatalf("warning count = %d, want 0", n)
+	}
+}
+
+func TestCheckpointConfigValidation(t *testing.T) {
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: []*trace.VM{constVM(0, 100, 0, time.Hour)}}
+	sink := func(*checkpoint.Checkpoint) error { return nil }
+	cases := []struct {
+		name string
+		opts []cluster.Option
+	}{
+		{"misaligned", []cluster.Option{cluster.WithCheckpointAt(7*time.Minute, sink)}},
+		{"at horizon", []cluster.Option{cluster.WithCheckpointAt(2*time.Hour, sink)}},
+		{"past horizon", []cluster.Option{cluster.WithCheckpointAt(3*time.Hour, sink)}},
+		{"nil sink", []cluster.Option{cluster.WithCheckpointAt(time.Hour, nil)}},
+		{"stop without at", []cluster.Option{cluster.WithCheckpointStop()}},
+	}
+	for _, tc := range cases {
+		if _, err := cluster.Run(baseConfig(ws), &stuffer{}, tc.opts...); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	// All VMs start after the cut so resume gets past the placement check
+	// and the failures under test are reached.
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: []*trace.VM{constVM(0, 100, time.Hour, 90*time.Minute)}}
+	ck := func(mut func(*checkpoint.Checkpoint)) *checkpoint.Checkpoint {
+		c := checkpoint.New(int64(5 * time.Minute))
+		c.Policy = "stuffer"
+		if mut != nil {
+			mut(c)
+		}
+		return c
+	}
+	cases := []struct {
+		name string
+		ck   *checkpoint.Checkpoint
+		want string
+	}{
+		{"wrong policy", ck(func(c *checkpoint.Checkpoint) { c.Policy = "other" }), "belongs to policy"},
+		{"past horizon", ck(func(c *checkpoint.Checkpoint) { c.AtNS = int64(2 * time.Hour) }), "not before the horizon"},
+		{"misaligned", ck(func(c *checkpoint.Checkpoint) { c.AtNS = int64(7 * time.Minute) }), "not aligned"},
+		{"invalid", ck(func(c *checkpoint.Checkpoint) { c.Version = 99 }), "version"},
+	}
+	for _, tc := range cases {
+		_, err := cluster.Run(baseConfig(ws), &stuffer{}, cluster.WithResume(tc.ck))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Re-checkpointing a resumed run must aim past the resume point.
+	sink := func(*checkpoint.Checkpoint) error { return nil }
+	_, err := cluster.Run(baseConfig(ws), &stuffer{},
+		cluster.WithResume(ck(nil)),
+		cluster.WithCheckpointAt(5*time.Minute, sink))
+	if err == nil || !strings.Contains(err.Error(), "not after the resume point") {
+		t.Errorf("re-checkpoint at the resume point: err = %v", err)
+	}
+}
+
+// TestCheckpointRequiresCapablePolicy: a policy without the checkpoint
+// interfaces fails the capture (and the resume) loudly instead of writing a
+// partial state.
+func TestCheckpointRequiresCapablePolicy(t *testing.T) {
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: []*trace.VM{constVM(0, 100, 0, time.Hour)}}
+	sink := func(*checkpoint.Checkpoint) error { return nil }
+	_, err := cluster.Run(baseConfig(ws), &stuffer{}, cluster.WithCheckpointAt(time.Hour, sink))
+	if err == nil || !strings.Contains(err.Error(), "does not support checkpointing") {
+		t.Errorf("capture with incapable policy: err = %v", err)
+	}
+}
+
+// TestCheckpointSinkErrorAbortsRun: a sink failure is a run failure.
+func TestCheckpointSinkErrorAbortsRun(t *testing.T) {
+	ws := &trace.Set{RefCapacityMHz: 8000, VMs: []*trace.VM{constVM(0, 100, 0, time.Hour)}}
+	cfg := baseConfig(ws)
+	pol := newEcoPolicy(t)
+	sink := func(*checkpoint.Checkpoint) error { return errSink }
+	_, err := cluster.Run(cfg, pol, cluster.WithCheckpointAt(time.Hour, sink))
+	if err == nil || !strings.Contains(err.Error(), "sink failed") {
+		t.Errorf("sink error: err = %v", err)
+	}
+}

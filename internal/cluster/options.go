@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"io"
+	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/obs"
 )
 
@@ -18,14 +20,29 @@ import (
 type Option func(*RunConfig)
 
 // WithObs attaches a telemetry recorder to the run (see RunConfig.Obs).
+// When the deprecated RunConfig.Obs field was also set (to a different
+// recorder), the option wins: the field is ignored and the run emits a
+// single deprecated_field_ignored warning on the winning recorder.
 func WithObs(r *obs.Recorder) Option {
-	return func(c *RunConfig) { c.Obs = r }
+	return func(c *RunConfig) {
+		if c.Obs != nil && c.Obs != r {
+			c.obsFieldOverridden = true
+		}
+		c.Obs = r
+	}
 }
 
 // WithEventLog streams one JSON line per data-center mutation to w (see
-// RunConfig.EventLog).
+// RunConfig.EventLog). When the deprecated RunConfig.EventLog field was also
+// set (to a different writer), the option wins: the field is ignored and the
+// run emits a single deprecated_field_ignored warning on its recorder.
 func WithEventLog(w io.Writer) Option {
-	return func(c *RunConfig) { c.EventLog = w }
+	return func(c *RunConfig) {
+		if c.EventLog != nil && c.EventLog != w {
+			c.eventLogFieldOverridden = true
+		}
+		c.EventLog = w
+	}
 }
 
 // WithWorkers routes the per-server control-round work through an
@@ -33,4 +50,31 @@ func WithEventLog(w io.Writer) Option {
 // bit-identical at every worker count.
 func WithWorkers(n int) Option {
 	return func(c *RunConfig) { c.Workers = n }
+}
+
+// WithCheckpointAt makes Run capture a full checkpoint at the end of the
+// control tick at virtual time at — a positive multiple of ControlInterval,
+// before the horizon — and hand it to sink (see RunConfig.CheckpointAt).
+// Capture is pure reads: the run's results are bit-identical with or without
+// a checkpoint in the middle.
+func WithCheckpointAt(at time.Duration, sink func(*checkpoint.Checkpoint) error) Option {
+	return func(c *RunConfig) {
+		c.CheckpointAt = at
+		c.CheckpointSink = sink
+	}
+}
+
+// WithCheckpointStop stops the run right after the checkpoint is captured
+// and delivered; the Result then covers only the prefix [0, CheckpointAt].
+// Use it to warm a prefix once and fork many continuations from it.
+func WithCheckpointStop() Option {
+	return func(c *RunConfig) { c.CheckpointStop = true }
+}
+
+// WithResume starts the run from a checkpoint instead of t=0 (see
+// RunConfig.Resume). The configuration must rebuild the same fleet, workload
+// and cadences the checkpoint was captured under; the continued run is then
+// bit-identical to the uninterrupted one.
+func WithResume(ck *checkpoint.Checkpoint) Option {
+	return func(c *RunConfig) { c.Resume = ck }
 }

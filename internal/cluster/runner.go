@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/dc"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -90,6 +91,36 @@ type RunConfig struct {
 	// Deprecated: prefer passing cluster.WithObs(r) to Run. The field keeps
 	// working; the option overrides it when both are given.
 	Obs *obs.Recorder
+
+	// CheckpointAt, when nonzero, makes Run capture a full checkpoint at the
+	// end of the control tick at that virtual time and hand it to
+	// CheckpointSink. The control tick is the last event at its timestamp
+	// (for t > 0), so the capture is a well-defined cut of the simulation;
+	// CheckpointAt must be a positive multiple of ControlInterval and before
+	// the horizon. Capture is pure reads: a checkpointing run's results are
+	// bit-identical to a non-checkpointing one.
+	CheckpointAt time.Duration
+	// CheckpointSink receives the captured checkpoint. A non-nil error
+	// aborts the run and is returned from Run.
+	CheckpointSink func(*checkpoint.Checkpoint) error
+	// CheckpointStop stops the run right after the capture is delivered; the
+	// returned Result then covers only the prefix [0, CheckpointAt].
+	CheckpointStop bool
+	// Resume, when set, starts the run from the checkpoint instead of t=0:
+	// the data center, policy state, rng streams, driver accounting and obs
+	// counters are reinstated, arrivals and departures before the capture
+	// point are skipped, and the tick cadences continue exactly where the
+	// captured run left off — the continued run is bit-identical (CSV and
+	// journal) to the uninterrupted one. The rest of the configuration must
+	// rebuild the same fleet, workload and cadences the checkpoint was
+	// captured under. Set via WithResume.
+	Resume *checkpoint.Checkpoint
+
+	// obsFieldOverridden / eventLogFieldOverridden record that an explicit
+	// option displaced a non-nil deprecated field, so Run can warn once (the
+	// option wins, the field is ignored).
+	obsFieldOverridden      bool
+	eventLogFieldOverridden bool
 }
 
 // Validate reports whether the run configuration is usable.
@@ -109,6 +140,21 @@ func (c RunConfig) Validate() error {
 		return fmt.Errorf("cluster: power model peak = %v", c.PowerModel.PeakW)
 	case c.Workers < 0:
 		return fmt.Errorf("cluster: Workers = %d", c.Workers)
+	}
+	if c.CheckpointAt != 0 {
+		switch {
+		case c.CheckpointAt < 0:
+			return fmt.Errorf("cluster: CheckpointAt = %v", c.CheckpointAt)
+		case c.CheckpointAt%c.ControlInterval != 0:
+			return fmt.Errorf("cluster: CheckpointAt %v is not a multiple of the control interval %v", c.CheckpointAt, c.ControlInterval)
+		case c.CheckpointAt >= c.Horizon:
+			return fmt.Errorf("cluster: CheckpointAt %v is not before the horizon %v", c.CheckpointAt, c.Horizon)
+		case c.CheckpointSink == nil:
+			return fmt.Errorf("cluster: CheckpointAt without a CheckpointSink")
+		}
+	}
+	if c.CheckpointStop && c.CheckpointAt == 0 {
+		return fmt.Errorf("cluster: CheckpointStop without CheckpointAt")
 	}
 	return nil
 }
@@ -213,6 +259,18 @@ func observeDCEvent(r *obs.Recorder, now time.Duration, e dc.Event) {
 	}
 }
 
+// warnDeprecatedField emits the single warning Run produces when an explicit
+// option displaced a non-nil deprecated RunConfig field (the option wins).
+func warnDeprecatedField(r *obs.Recorder, field string) {
+	if !r.Enabled() {
+		return
+	}
+	r.Count("cluster.deprecated_field_ignored", 1)
+	if r.Journaling() {
+		r.Emit(0, "deprecated_field_ignored", map[string]any{"field": field})
+	}
+}
+
 // Run executes the workload against the policy and collects metrics.
 // Options are applied to cfg (overriding its fields) before validation; see
 // Option for the attachment knobs available.
@@ -226,7 +284,48 @@ func Run(cfg RunConfig, policy Policy, opts ...Option) (*Result, error) {
 	if err := cfg.Workload.Validate(); err != nil {
 		return nil, err
 	}
-	d := dc.New(cfg.Specs)
+	// Deprecated-field precedence: an explicit option wins over the
+	// deprecated RunConfig field. The displaced field is ignored and the run
+	// says so exactly once, on the recorder that won.
+	if cfg.obsFieldOverridden {
+		warnDeprecatedField(cfg.Obs, "Obs")
+	}
+	if cfg.eventLogFieldOverridden {
+		warnDeprecatedField(cfg.Obs, "EventLog")
+	}
+
+	resume := cfg.Resume
+	var resumeAt time.Duration
+	if resume != nil {
+		if err := resume.Validate(); err != nil {
+			return nil, err
+		}
+		resumeAt = time.Duration(resume.AtNS)
+		switch {
+		case resume.Policy != "" && resume.Policy != policy.Name():
+			return nil, fmt.Errorf("cluster: checkpoint belongs to policy %q, resuming with %q", resume.Policy, policy.Name())
+		case resumeAt >= cfg.Horizon:
+			return nil, fmt.Errorf("cluster: checkpoint at %v is not before the horizon %v", resumeAt, cfg.Horizon)
+		case resumeAt%cfg.ControlInterval != 0:
+			return nil, fmt.Errorf("cluster: checkpoint at %v is not aligned to the control interval %v", resumeAt, cfg.ControlInterval)
+		case cfg.CheckpointAt != 0 && cfg.CheckpointAt <= resumeAt:
+			return nil, fmt.Errorf("cluster: CheckpointAt %v is not after the resume point %v", cfg.CheckpointAt, resumeAt)
+		}
+	}
+
+	var d *dc.DataCenter
+	if resume != nil {
+		// Rebuild the data center from the checkpoint: placements replayed
+		// from the snapshot, then the hot state (cursor memos, RAM
+		// accumulator, kernel aggregates and counters) reinstated on top.
+		var err error
+		d, err = dc.Restore(cfg.Specs, cfg.Workload, resume.DC)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		d = dc.New(cfg.Specs)
+	}
 	d.SetDemandCache(!cfg.DisableDemandCache)
 	rec := NewRecorder(cfg.SampleInterval)
 	eng := sim.New()
@@ -268,9 +367,11 @@ func Run(cfg RunConfig, policy Policy, opts ...Option) (*Result, error) {
 		return vms[i].ID < vms[j].ID
 	})
 
-	// Initial placement.
+	// Initial placement. A resumed run restores placements from the
+	// checkpoint instead; the scenario-construction phase happened in the
+	// captured run's own prefix.
 	preplaced := map[int]bool{}
-	if cfg.Initial == SpreadRoundRobin {
+	if resume == nil && cfg.Initial == SpreadRoundRobin {
 		// Activate everything with ActivatedAt far in the past (no grace).
 		for _, s := range d.Servers {
 			if err := d.Activate(s, 0); err != nil {
@@ -317,15 +418,29 @@ func Run(cfg RunConfig, policy Policy, opts ...Option) (*Result, error) {
 		})
 	}
 
-	// Arrival and departure events.
+	// Arrival and departure events. A resumed run schedules only the events
+	// strictly after the capture point: earlier arrivals are embodied in the
+	// restored placements, earlier departures already happened. The loop
+	// order (and therefore the engine's FIFO tie-breaking among coincident
+	// events) is the same sorted-VM order as the uninterrupted run's.
 	for _, vm := range vms {
 		vm := vm
-		if !preplaced[vm.ID] {
+		if resume != nil {
+			if vm.Start <= resumeAt && vm.End > resumeAt {
+				if _, ok := d.HostOf(vm.ID); !ok {
+					return nil, fmt.Errorf("cluster: resume: VM %d alive at %v is not placed in the checkpoint", vm.ID, resumeAt)
+				}
+			}
+			if vm.Start <= resumeAt && vm.End <= resumeAt {
+				continue
+			}
+		}
+		if vm.Start > resumeAt || (resume == nil && !preplaced[vm.ID]) {
 			eng.Schedule(vm.Start, "arrival", func(e *sim.Engine) {
 				policy.OnArrival(Env{Now: e.Now(), DC: d, Rec: rec, Pool: pool}, vm)
 			})
 		}
-		if vm.End < cfg.Horizon {
+		if vm.End > resumeAt && vm.End < cfg.Horizon {
 			eng.Schedule(vm.End, "departure", func(e *sim.Engine) {
 				if _, err := d.Remove(vm.ID); err != nil {
 					panic(fmt.Sprintf("cluster: departing VM %d: %v", vm.ID, err))
@@ -335,14 +450,30 @@ func Run(cfg RunConfig, policy Policy, opts ...Option) (*Result, error) {
 	}
 
 	// Overload accounting shared between control and sample ticks.
-	var (
-		vmTicks, vmOverTicks             float64 // whole run
-		vmRAMOverTicks                   float64
-		winVMTicks, winVMOverTicks       float64 // current sample window
-		overDemandMHz, overCapacityMHz   float64 // during overloaded ticks
-		activeTickSum, controlTicks      float64
-		lastActivations, lastHibernation int
-	)
+	var acc runAccum
+
+	// Resume: reinstate the policy's private state and rng streams, the
+	// driver's accounting, and the obs counters/gauges (timers are wall-clock
+	// telemetry and stay fresh).
+	if resume != nil {
+		co, okC := policy.(checkpoint.Checkpointable)
+		so, okS := policy.(checkpoint.StreamOwner)
+		if !okC || !okS {
+			return nil, fmt.Errorf("cluster: policy %q does not support checkpoint resume", policy.Name())
+		}
+		if err := co.UnmarshalCheckpoint(resume.PolicyState); err != nil {
+			return nil, err
+		}
+		if err := so.AdoptStreams(resume.RNG); err != nil {
+			return nil, err
+		}
+		if err := restoreRunnerState(resume.Runner, res, rec, &acc); err != nil {
+			return nil, err
+		}
+		if resume.Obs != nil {
+			cfg.Obs.RestoreMetrics(*resume.Obs)
+		}
+	}
 
 	// Per-tick scratch, allocated once per run: the observation is computed
 	// into slots (phase A — with a pool, workers fill disjoint spans via
@@ -385,12 +516,16 @@ func Run(cfg RunConfig, policy Policy, opts ...Option) (*Result, error) {
 		return sum
 	}
 
+	// capErr carries a checkpoint-capture or sink failure out of the control
+	// tick; a set capErr stops the engine and fails the run.
+	var capErr error
+
 	// Control tick: let the policy act, then observe. Observing after the
 	// policy mirrors the paper's setup, where servers monitor utilization
 	// every few seconds and request relief immediately: overload that the
 	// policy can fix within one monitoring latency never accumulates
 	// violation time; what we count is the overload that persists.
-	eng.Every(0, cfg.ControlInterval, "control", func(e *sim.Engine) {
+	controlTick := func(e *sim.Engine) {
 		now := e.Now()
 		if pool != nil {
 			// Prewarm: refill every active server's demand aggregate across
@@ -431,21 +566,21 @@ func Run(cfg RunConfig, policy Policy, opts ...Option) (*Result, error) {
 				continue
 			}
 			res.Episodes.Observe(d.Servers[i].ID, sl.Over)
-			vmTicks += sl.NVMs
-			winVMTicks += sl.NVMs
+			acc.vmTicks += sl.NVMs
+			acc.winVMTicks += sl.NVMs
 			if sl.Over {
-				vmOverTicks += sl.NVMs
-				winVMOverTicks += sl.NVMs
-				overDemandMHz += sl.Demand
-				overCapacityMHz += sl.Cap
+				acc.vmOverTicks += sl.NVMs
+				acc.winVMOverTicks += sl.NVMs
+				acc.overDemandMHz += sl.Demand
+				acc.overCapacityMHz += sl.Cap
 				cfg.Obs.Count("cluster.overload_server_ticks", 1)
 			}
 			if sl.RAMOver {
-				vmRAMOverTicks += sl.NVMs
+				acc.vmRAMOverTicks += sl.NVMs
 			}
 		}
-		activeTickSum += float64(d.ActiveCount())
-		controlTicks++
+		acc.activeTickSum += float64(d.ActiveCount())
+		acc.controlTicks++
 		// Energy: integrate draw over the next interval (left Riemann sum),
 		// clamped so the run integrates exactly [0, Horizon): the tick at
 		// t == Horizon contributes nothing, and a final partial interval
@@ -462,26 +597,44 @@ func Run(cfg RunConfig, policy Policy, opts ...Option) (*Result, error) {
 			cfg.Obs.Gauge("cluster.active_servers", int64(d.ActiveCount()))
 			cfg.Obs.Gauge("cluster.vms_placed", int64(d.NumPlaced()))
 		}
-	})
+		// Checkpoint capture: the end of the control tick at CheckpointAt is
+		// the last instruction executed at that timestamp, so the captured
+		// state is exactly "the simulation after time CheckpointAt". Capture
+		// reads; it never mutates — the run's own results are unchanged.
+		if cfg.CheckpointAt != 0 && now == cfg.CheckpointAt {
+			ck, err := captureCheckpoint(&cfg, policy, Env{Now: now, DC: d, Rec: rec, Pool: pool}, res, rec, &acc, now)
+			if err == nil {
+				err = cfg.CheckpointSink(ck)
+			}
+			if err != nil {
+				capErr = fmt.Errorf("cluster: checkpoint at %v: %w", now, err)
+				e.Stop()
+				return
+			}
+			if cfg.CheckpointStop {
+				e.Stop()
+			}
+		}
+	}
 
 	// Sample tick: record the reported series.
-	eng.Every(0, cfg.SampleInterval, "sample", func(e *sim.Engine) {
+	sampleTick := func(e *sim.Engine) {
 		now := e.Now()
 		cfg.Obs.SampleMemory()
 		res.ActiveServers.Add(now, float64(d.ActiveCount()))
 		res.PowerW.Add(now, d.PowerAt(now, cfg.PowerModel))
 		res.OverallLoad.Add(now, totalDemandAt(now)/totalCapacity)
 		pct := 0.0
-		if winVMTicks > 0 {
-			pct = 100 * winVMOverTicks / winVMTicks
+		if acc.winVMTicks > 0 {
+			pct = 100 * acc.winVMOverTicks / acc.winVMTicks
 		}
 		res.OverDemandPct.Add(now, pct)
-		winVMTicks, winVMOverTicks = 0, 0
+		acc.winVMTicks, acc.winVMOverTicks = 0, 0
 
 		hours := cfg.SampleInterval.Hours()
-		res.Activations.Add(now, float64(d.Activations-lastActivations)/hours)
-		res.Hibernations.Add(now, float64(d.Hibernations-lastHibernation)/hours)
-		lastActivations, lastHibernation = d.Activations, d.Hibernations
+		res.Activations.Add(now, float64(d.Activations-acc.lastActivations)/hours)
+		res.Hibernations.Add(now, float64(d.Hibernations-acc.lastHibernation)/hours)
+		acc.lastActivations, acc.lastHibernation = d.Activations, d.Hibernations
 
 		if cfg.RecordServerUtil {
 			row := make([]float64, nServers)
@@ -495,9 +648,28 @@ func Run(cfg RunConfig, policy Policy, opts ...Option) (*Result, error) {
 			res.SampleTimes = append(res.SampleTimes, now)
 			res.ServerUtil = append(res.ServerUtil, row)
 		}
-	})
+	}
+
+	// Tick scheduling. A fresh run registers control before sample, so the
+	// t=0 tick runs control first; from then on each tick reschedules itself
+	// and the engine's FIFO order makes sample precede control at every later
+	// shared timestamp. A resumed run reproduces exactly that steady state:
+	// sample is registered first (lower sequence number at coincident
+	// timestamps) with its first fire at the next sample multiple after the
+	// capture point, control second at capture + ControlInterval.
+	if resume != nil {
+		sampleFirst := (resumeAt/cfg.SampleInterval + 1) * cfg.SampleInterval
+		eng.Every(sampleFirst, cfg.SampleInterval, "sample", sampleTick)
+		eng.Every(resumeAt+cfg.ControlInterval, cfg.ControlInterval, "control", controlTick)
+	} else {
+		eng.Every(0, cfg.ControlInterval, "control", controlTick)
+		eng.Every(0, cfg.SampleInterval, "sample", sampleTick)
+	}
 
 	eng.Run(cfg.Horizon)
+	if capErr != nil {
+		return nil, capErr
+	}
 
 	if err := d.CheckInvariants(); err != nil {
 		return nil, fmt.Errorf("cluster: post-run: %v", err)
@@ -522,15 +694,15 @@ func Run(cfg RunConfig, policy Policy, opts ...Option) (*Result, error) {
 		cfg.Obs.Count("dc.demand_cache.misses", int64(res.DemandCache.Misses))
 		cfg.Obs.Count("dc.demand_cache.invalidations", int64(res.DemandCache.Invalidations))
 	}
-	if controlTicks > 0 {
-		res.MeanActiveServers = activeTickSum / controlTicks
+	if acc.controlTicks > 0 {
+		res.MeanActiveServers = acc.activeTickSum / acc.controlTicks
 	}
-	if vmTicks > 0 {
-		res.VMOverloadTimeFrac = vmOverTicks / vmTicks
-		res.RAMOverloadTimeFrac = vmRAMOverTicks / vmTicks
+	if acc.vmTicks > 0 {
+		res.VMOverloadTimeFrac = acc.vmOverTicks / acc.vmTicks
+		res.RAMOverloadTimeFrac = acc.vmRAMOverTicks / acc.vmTicks
 	}
-	if overDemandMHz > 0 {
-		res.GrantedFracInOverload = overCapacityMHz / overDemandMHz
+	if acc.overDemandMHz > 0 {
+		res.GrantedFracInOverload = acc.overCapacityMHz / acc.overDemandMHz
 	}
 	return res, nil
 }

@@ -164,10 +164,15 @@ func (d *DataCenter) DemandCacheStats() DemandCacheStats {
 
 // SetDemandCache enables or disables the demand kernel on every server.
 // Disabling also drops any cached aggregates, so a subsequent re-enable
-// starts cold. The cache is on by default; the off position exists for the
-// differential tests and the naive-vs-cached scalability benchmarks.
+// starts cold. Enabling is a pure switch flip — it must not touch the
+// aggregates, because a checkpoint restore reinstates them before the run
+// re-arms the cache. The cache is on by default; the off position exists for
+// the differential tests and the naive-vs-cached scalability benchmarks.
 func (d *DataCenter) SetDemandCache(on bool) {
 	d.kernelDisabled = !on
+	if on {
+		return
+	}
 	for i := range d.hot.kValid {
 		d.hot.kValid[i] = false
 	}

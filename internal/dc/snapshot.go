@@ -10,10 +10,12 @@ import (
 )
 
 // Snapshot is a serializable image of the data center's mutable state:
-// power states, activation times, placements (by VM ID) and switch
-// counters. Together with the (immutable) specs and workload it restores a
-// run's placement state exactly — the building block for checkpointing
-// long simulations.
+// power states, activation times, placements (by VM ID), switch counters,
+// and the SoA hot state the PR 6 refactor moved into flat arrays — the
+// demand-kernel aggregates with their counters, the per-VM demand cursors,
+// and the historical RAM accounting. Together with the (immutable) specs and
+// workload it restores a run bit for bit — the building block for
+// checkpointing long simulations.
 type Snapshot struct {
 	Servers      []ServerSnapshot `json:"servers"`
 	Activations  int              `json:"activations"`
@@ -24,13 +26,45 @@ type Snapshot struct {
 
 // ServerSnapshot is one server's mutable state. Active and Failed are
 // mutually exclusive; both false means Hibernated (the pre-fault wire format
-// stays readable: old snapshots simply never set Failed).
+// stays readable: old snapshots simply never set Failed, and snapshots
+// written before the hot-state extension leave Kernel/Cursors/UsedRAMMB
+// empty, which restores a cold cache — correct values, shifted hit/miss
+// split).
 type ServerSnapshot struct {
 	ID          int   `json:"id"`
 	Active      bool  `json:"active"`
 	Failed      bool  `json:"failed,omitempty"`
 	ActivatedNS int64 `json:"activated_ns"`
 	VMs         []int `json:"vms"`
+
+	// UsedRAMMB is the server's historical RAM accumulator. It is captured —
+	// not recomputed from the placed VMs — because the accumulator is the
+	// running sum over the server's whole placement history and
+	// floating-point addition does not commute with replay order. Zero (or
+	// absent) means "trust the replayed sum" for pre-extension snapshots and
+	// CPU-only fleets.
+	UsedRAMMB float64 `json:"used_ram_mb,omitempty"`
+
+	// Kernel is the demand-kernel aggregate and its access counters.
+	Kernel *KernelSnapshot `json:"kernel,omitempty"`
+
+	// Cursors holds each hosted VM's step-function memo, index-parallel
+	// to VMs.
+	Cursors []trace.CursorState `json:"cursors,omitempty"`
+}
+
+// KernelSnapshot is one server's demand-kernel state (see demandkernel.go):
+// the cached aggregate with its validity window, plus the hit/miss/
+// invalidation counters, which are observable through DemandCacheStats and
+// therefore part of the bit-identity contract.
+type KernelSnapshot struct {
+	Valid   bool    `json:"valid,omitempty"`
+	FromNS  int64   `json:"from_ns,omitempty"`
+	UntilNS int64   `json:"until_ns,omitempty"`
+	Sum     float64 `json:"sum,omitempty"`
+	Hits    uint64  `json:"hits,omitempty"`
+	Misses  uint64  `json:"misses,omitempty"`
+	Inval   uint64  `json:"inval,omitempty"`
 }
 
 // Snapshot captures the current state.
@@ -42,14 +76,26 @@ func (d *DataCenter) Snapshot() Snapshot {
 		Recoveries:   d.Recoveries,
 	}
 	for _, s := range d.Servers {
+		h := &d.hot
 		ss := ServerSnapshot{
 			ID:          s.ID,
 			Active:      s.State() == Active,
 			Failed:      s.State() == Failed,
 			ActivatedNS: int64(s.ActivatedAt()),
+			UsedRAMMB:   h.usedRAMMB[s.ID],
+			Kernel: &KernelSnapshot{
+				Valid:   h.kValid[s.ID],
+				FromNS:  int64(h.kFrom[s.ID]),
+				UntilNS: int64(h.kUntil[s.ID]),
+				Sum:     h.kSum[s.ID],
+				Hits:    h.kHits[s.ID],
+				Misses:  h.kMisses[s.ID],
+				Inval:   h.kInval[s.ID],
+			},
 		}
-		for _, vm := range s.vms {
+		for i, vm := range s.vms {
 			ss.VMs = append(ss.VMs, vm.ID)
+			ss.Cursors = append(ss.Cursors, s.cursors[i].State())
 		}
 		snap.Servers = append(snap.Servers, ss)
 	}
@@ -97,6 +143,32 @@ func Restore(specs []Spec, ws *trace.Set, snap Snapshot) (*DataCenter, error) {
 			if err := d.Place(vm, s); err != nil {
 				return nil, err
 			}
+		}
+		// Reinstate the hot state the replay above cannot reproduce: cursor
+		// memos, the historical RAM accumulator, the activation timestamp of
+		// non-active servers, and the kernel aggregate the placements just
+		// invalidated. Pre-extension snapshots carry none of these and
+		// restore a cold (but correct) cache.
+		if len(ss.Cursors) > 0 {
+			if len(ss.Cursors) != len(s.vms) {
+				return nil, fmt.Errorf("dc: snapshot server %d has %d cursors for %d VMs", ss.ID, len(ss.Cursors), len(s.vms))
+			}
+			for i := range s.cursors {
+				s.cursors[i].SetState(ss.Cursors[i])
+			}
+		}
+		if ss.UsedRAMMB != 0 {
+			d.hot.usedRAMMB[s.ID] = ss.UsedRAMMB
+		}
+		d.hot.activatedAt[s.ID] = time.Duration(ss.ActivatedNS)
+		if k := ss.Kernel; k != nil {
+			d.hot.kValid[s.ID] = k.Valid
+			d.hot.kFrom[s.ID] = time.Duration(k.FromNS)
+			d.hot.kUntil[s.ID] = time.Duration(k.UntilNS)
+			d.hot.kSum[s.ID] = k.Sum
+			d.hot.kHits[s.ID] = k.Hits
+			d.hot.kMisses[s.ID] = k.Misses
+			d.hot.kInval[s.ID] = k.Inval
 		}
 	}
 	// The snapshot's counters override the ones the replay just produced.

@@ -1,0 +1,122 @@
+package ecocloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/rng"
+)
+
+var (
+	_ checkpoint.Checkpointable = (*Policy)(nil)
+	_ checkpoint.StreamOwner    = (*Policy)(nil)
+)
+
+// Checkpoint support: the policy's mutable state is its rng streams (the
+// manager stream, the master and every lazily derived per-server stream),
+// the cooldown clocks, and the invitation-group rotation counter. The
+// configuration and the assignment functions are NOT state — a resume
+// constructs the policy from the same Config and seed and then adopts the
+// captured state on top.
+
+// Stream labels. Per-server streams use serverStreamPrefix + decimal ID so
+// the label set is stable across processes and runs.
+const (
+	masterStream       = "ecocloud/master"
+	managerStream      = "ecocloud/manager"
+	serverStreamPrefix = "ecocloud/server/"
+)
+
+// policyState is the serializable non-rng state (see MarshalCheckpoint).
+type policyState struct {
+	// LastMigNS holds the cooldown clocks as (server ID, virtual time) pairs
+	// sorted by ID, so the encoded bytes are deterministic.
+	LastMigNS []serverClock `json:"last_mig_ns,omitempty"`
+	NextGroup int           `json:"next_group,omitempty"`
+}
+
+type serverClock struct {
+	Server int   `json:"server"`
+	AtNS   int64 `json:"at_ns"`
+}
+
+// RegisterStreams implements checkpoint.StreamOwner: it registers the
+// manager and master streams plus every per-server stream derived so far.
+// Servers whose stream was never derived have no state to capture — a
+// resumed policy re-derives them identically on first use (Split depends
+// only on seed material).
+func (p *Policy) RegisterStreams(reg *rng.Registry) {
+	reg.Add(masterStream, p.master)
+	reg.Add(managerStream, p.mgr)
+	ids := make([]int, 0, len(p.servers))
+	for id := range p.servers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		reg.Add(serverStreamPrefix+strconv.Itoa(id), p.servers[id])
+	}
+}
+
+// AdoptStreams implements checkpoint.StreamOwner: it installs the captured
+// stream states, creating per-server streams that the fresh policy has not
+// derived yet.
+func (p *Policy) AdoptStreams(states map[string]rng.State) error {
+	reg := rng.NewRegistry()
+	reg.Add(masterStream, p.master)
+	reg.Add(managerStream, p.mgr)
+	for label := range states {
+		if !strings.HasPrefix(label, serverStreamPrefix) {
+			if label == masterStream || label == managerStream {
+				continue
+			}
+			return fmt.Errorf("ecocloud: checkpoint stream %q not recognized", label)
+		}
+		id, err := strconv.Atoi(label[len(serverStreamPrefix):])
+		if err != nil {
+			return fmt.Errorf("ecocloud: checkpoint stream %q: bad server ID", label)
+		}
+		src, ok := p.servers[id]
+		if !ok {
+			src = &rng.Source{}
+			p.servers[id] = src
+		}
+		reg.Add(label, src)
+	}
+	return reg.Restore(states)
+}
+
+// MarshalCheckpoint implements checkpoint.Checkpointable.
+func (p *Policy) MarshalCheckpoint() (json.RawMessage, error) {
+	st := policyState{NextGroup: p.nextGroup}
+	ids := make([]int, 0, len(p.lastMig))
+	for id := range p.lastMig {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		st.LastMigNS = append(st.LastMigNS, serverClock{Server: id, AtNS: int64(p.lastMig[id])})
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalCheckpoint implements checkpoint.Checkpointable.
+func (p *Policy) UnmarshalCheckpoint(raw json.RawMessage) error {
+	var st policyState
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return fmt.Errorf("ecocloud: checkpoint state: %w", err)
+		}
+	}
+	p.lastMig = make(map[int]time.Duration, len(st.LastMigNS))
+	for _, c := range st.LastMigNS {
+		p.lastMig[c.Server] = time.Duration(c.AtNS)
+	}
+	p.nextGroup = st.NextGroup
+	return nil
+}

@@ -1,0 +1,96 @@
+package ecocloud
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// newCheckpointFixture builds a policy with warmed-up mutable state: derived
+// per-server streams that have consumed draws, cooldown clocks, and a
+// rotated invitation group.
+func newCheckpointFixture(t *testing.T) *Policy {
+	t.Helper()
+	p, err := New(DefaultConfig(), 99)
+	if err != nil {
+		t.Fatalf("policy: %v", err)
+	}
+	for _, id := range []int{4, 1, 7} {
+		src := p.serverSrc(id)
+		for i := 0; i < id+1; i++ {
+			src.Float64()
+		}
+	}
+	p.mgr.Float64()
+	p.lastMig[4] = 40 * time.Minute
+	p.lastMig[1] = 10 * time.Minute
+	p.nextGroup = 5
+	return p
+}
+
+func TestPolicyCheckpointRoundTrip(t *testing.T) {
+	p := newCheckpointFixture(t)
+
+	reg := rng.NewRegistry()
+	p.RegisterStreams(reg)
+	states := reg.States()
+	raw, err := p.MarshalCheckpoint()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+
+	// A fresh policy from the same config+seed, with the captured state
+	// adopted on top, must behave identically from here on.
+	q, err := New(DefaultConfig(), 99)
+	if err != nil {
+		t.Fatalf("policy: %v", err)
+	}
+	if err := q.UnmarshalCheckpoint(raw); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if err := q.AdoptStreams(states); err != nil {
+		t.Fatalf("adopt: %v", err)
+	}
+
+	if q.nextGroup != p.nextGroup {
+		t.Fatalf("nextGroup %d want %d", q.nextGroup, p.nextGroup)
+	}
+	if len(q.lastMig) != len(p.lastMig) || q.lastMig[4] != p.lastMig[4] || q.lastMig[1] != p.lastMig[1] {
+		t.Fatalf("lastMig %v want %v", q.lastMig, p.lastMig)
+	}
+	// Every stream — including the per-server ones the fresh policy had not
+	// derived — continues exactly where the original left off.
+	for _, id := range []int{4, 1, 7} {
+		if a, b := p.serverSrc(id).Float64(), q.serverSrc(id).Float64(); a != b {
+			t.Fatalf("server %d stream diverged: %v vs %v", id, a, b)
+		}
+	}
+	if a, b := p.mgr.Float64(), q.mgr.Float64(); a != b {
+		t.Fatalf("manager stream diverged: %v vs %v", a, b)
+	}
+	if a, b := p.master.Float64(), q.master.Float64(); a != b {
+		t.Fatalf("master stream diverged: %v vs %v", a, b)
+	}
+	// A lazily derived stream NOT in the checkpoint still derives
+	// identically on both sides (Split is draw-order independent).
+	if a, b := p.serverSrc(30).Float64(), q.serverSrc(30).Float64(); a != b {
+		t.Fatalf("post-adopt derivation diverged: %v vs %v", a, b)
+	}
+}
+
+func TestAdoptStreamsRejectsUnknownLabel(t *testing.T) {
+	p := newCheckpointFixture(t)
+	reg := rng.NewRegistry()
+	p.RegisterStreams(reg)
+	states := reg.States()
+	states["protocol/bogus"] = rng.New(1).State()
+
+	q, err := New(DefaultConfig(), 99)
+	if err != nil {
+		t.Fatalf("policy: %v", err)
+	}
+	if err := q.AdoptStreams(states); err == nil {
+		t.Fatal("unknown stream label accepted")
+	}
+}

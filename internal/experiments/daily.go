@@ -23,6 +23,11 @@ type DailyOptions struct {
 	Power   dc.PowerModel
 	Control time.Duration // migration-scan cadence
 	Sample  time.Duration // metric cadence (paper: 30 minutes)
+
+	// Cluster options forwarded to cluster.Run — checkpoint capture, resume,
+	// event logs. Nil for a plain run. Excluded from the run manifest:
+	// options are closures, not configuration values.
+	Cluster []cluster.Option `json:"-"`
 }
 
 // DefaultDailyOptions returns the paper's §III configuration: Ta=0.90 p=3
@@ -70,7 +75,7 @@ func Daily(opts DailyOptions) (*DailyResult, error) {
 	}
 	cfg := opts.ClusterConfig(dc.StandardFleet(opts.Servers), ws, opts.Control, opts.Sample, opts.Power)
 	cfg.RecordServerUtil = true
-	res, err := cluster.Run(cfg, pol)
+	res, err := cluster.Run(cfg, pol, opts.Cluster...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ecocloud"
+	"repro/internal/trace"
+)
+
+func quickForkedSweepOptions() ForkedSweepOptions {
+	opts := DefaultForkedSweepOptions()
+	opts.Servers = 12
+	opts.NumVMs = 60
+	opts.Horizon = 3 * time.Hour
+	opts.Warmup = time.Hour
+	opts.Gen = trace.DefaultGenConfig()
+	opts.ThValues = []float64{0.85, 0.95}
+	opts.TlValues = []float64{0.40}
+	opts.Replicates = 2
+	return opts
+}
+
+// TestForkedSweep runs the small grid end to end. The byte-identity proof
+// (identity-forked base cell vs from-scratch run) is internal to ForkedSweep:
+// reaching a result at all means it held.
+func TestForkedSweep(t *testing.T) {
+	opts := quickForkedSweepOptions()
+	res, err := ForkedSweep(opts)
+	if err != nil {
+		t.Fatalf("forkedsweep: %v", err)
+	}
+	if res.ProofBytes == 0 {
+		t.Fatal("proof compared zero bytes")
+	}
+	want := 1 + len(opts.ThValues) + len(opts.TlValues) + opts.Replicates
+	if len(res.Points) != want {
+		t.Fatalf("%d points, want %d", len(res.Points), want)
+	}
+	if res.Points[0].Param != "base" {
+		t.Fatalf("first point is %q, want the proven base cell", res.Points[0].Param)
+	}
+	fig := res.Figure()
+	if rows := len(fig.Column("param_idx")); rows != want {
+		t.Fatalf("figure has %d rows, want %d", rows, want)
+	}
+}
+
+// TestForkedSweepReplicatesDiverge: labeled replicate branches share the
+// prefix but must decorrelate after the branch point — their suffixes (and
+// hence their aggregates) should not all coincide with the base cell's.
+func TestForkedSweepReplicatesDiverge(t *testing.T) {
+	opts := quickForkedSweepOptions()
+	opts.ThValues = nil
+	opts.TlValues = nil
+	opts.Replicates = 3
+	res, err := ForkedSweep(opts)
+	if err != nil {
+		t.Fatalf("forkedsweep: %v", err)
+	}
+	base := res.Points[0]
+	diverged := false
+	for _, p := range res.Points[1:] {
+		if p.Param != "replicate" {
+			t.Fatalf("unexpected point %+v", p)
+		}
+		if p.MeanActive != base.MeanActive || p.EnergyKWh != base.EnergyKWh ||
+			p.Migrations != base.Migrations {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("every replicate branch reproduced the base cell exactly; rng re-seeding is not taking effect")
+	}
+}
+
+// TestForkedSweepRegistered: the registry entry runs at quick scale and
+// produces the figure.
+func TestForkedSweepRegistered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full quick-scale sweep")
+	}
+	eco := ecocloud.DefaultConfig()
+	res, err := Run("forkedsweep", RunRequest{Scale: 0.2, Eco: &eco})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.Figures) != 1 || res.Figures[0].ID != "forkedsweep" {
+		t.Fatalf("unexpected figures: %+v", res.Figures)
+	}
+}

@@ -322,4 +322,29 @@ func init() {
 			return &RunResult{Name: "comparison", Figures: []*Figure{res.Figure()}, Raw: res}, nil
 		},
 	})
+	Register(Experiment{
+		Name:        "forkedsweep",
+		Description: "sensitivity grid branched from one checkpointed warm prefix, with an identity-fork byte-identity proof",
+		Run: func(req RunRequest) (*RunResult, error) {
+			opts := DefaultForkedSweepOptions()
+			if req.scale() < 1 {
+				// Quick runs: short prefix and suffix, one value per axis,
+				// one replicate — the proof comparison is the point.
+				opts.Horizon = 4 * time.Hour
+				opts.Warmup = time.Hour
+				opts.ThValues = []float64{0.85}
+				opts.TlValues = []float64{0.40}
+				opts.Replicates = 1
+			}
+			opts.RunConfig = req.Apply(opts.RunConfig)
+			if req.Eco != nil {
+				opts.Base = *req.Eco
+			}
+			res, err := ForkedSweep(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Name: "forkedsweep", Figures: []*Figure{res.Figure()}, Raw: res}, nil
+		},
+	})
 }

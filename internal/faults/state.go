@@ -1,0 +1,145 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Serializable injector state, so a checkpointed run can carry its fault
+// clocks across a stop/resume boundary. The crash/repair timers live in the
+// engine's event queue, which cannot be serialized; the injector therefore
+// tracks each server's pending clock as an absolute time (nextEvent) and
+// Restore re-arms the queue from that record. Map-backed internals are
+// captured as ID-sorted slices so the wire bytes are deterministic.
+
+// StreamState pairs a per-server rng stream with its server ID.
+type StreamState struct {
+	ID    int       `json:"id"`
+	State rng.State `json:"state"`
+}
+
+// ServerClock is one (server ID, absolute virtual time) pair.
+type ServerClock struct {
+	ID   int   `json:"id"`
+	AtNS int64 `json:"at_ns"`
+}
+
+// EvacState is one evacuated VM's open downtime window.
+type EvacState struct {
+	VM      int   `json:"vm"`
+	SinceNS int64 `json:"since_ns"`
+	EndNS   int64 `json:"end_ns"`
+}
+
+// State is the injector's serializable checkpoint section.
+type State struct {
+	Master      rng.State     `json:"master"`
+	Crash       []StreamState `json:"crash,omitempty"`
+	Wake        []StreamState `json:"wake,omitempty"`
+	DownAt      []ServerClock `json:"down_at,omitempty"`
+	NextEvent   []ServerClock `json:"next_event,omitempty"`
+	Outstanding []EvacState   `json:"outstanding,omitempty"`
+	Stats       Stats         `json:"stats"`
+}
+
+func sortedStreams(m map[int]*rng.Source) []StreamState {
+	out := make([]StreamState, 0, len(m))
+	for id, src := range m {
+		out = append(out, StreamState{ID: id, State: src.State()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func sortedClocks(m map[int]time.Duration) []ServerClock {
+	out := make([]ServerClock, 0, len(m))
+	for id, at := range m {
+		out = append(out, ServerClock{ID: id, AtNS: int64(at)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// State captures the injector: every rng stream derived so far, the down
+// and pending-clock books, the open evacuation windows and the statistics.
+// Capture is pure reads.
+func (in *Injector) State() State {
+	st := State{
+		Master:    in.master.State(),
+		Crash:     sortedStreams(in.crash),
+		Wake:      sortedStreams(in.wake),
+		DownAt:    sortedClocks(in.downAt),
+		NextEvent: sortedClocks(in.nextEvent),
+		Stats:     in.Stats,
+	}
+	vms := make([]int, 0, len(in.outstanding))
+	for vm := range in.outstanding {
+		vms = append(vms, vm)
+	}
+	sort.Ints(vms)
+	for _, vm := range vms {
+		w := in.outstanding[vm]
+		st.Outstanding = append(st.Outstanding, EvacState{VM: vm, SinceNS: int64(w.since), EndNS: int64(w.end)})
+	}
+	return st
+}
+
+// Restore installs a captured state on a freshly constructed injector (same
+// config, servers and horizon) and re-arms the crash/repair clocks on eng at
+// their captured absolute times. It replaces Start for resumed runs; call it
+// once, before the engine runs, with eng.Now() at or before every pending
+// clock. In-flight VM evacuations are part of the data-center state, not the
+// injector's, so the caller restores those separately.
+func (in *Injector) Restore(eng *sim.Engine, tgt Target, st State) error {
+	if eng == nil || tgt == nil {
+		panic("faults: nil engine or target")
+	}
+	if in.eng != nil {
+		panic("faults: Restore after Start")
+	}
+	in.eng, in.tgt = eng, tgt
+	in.master.Restore(st.Master)
+	for _, s := range st.Crash {
+		src, ok := in.crash[s.ID]
+		if !ok {
+			src = &rng.Source{}
+			in.crash[s.ID] = src
+		}
+		src.Restore(s.State)
+	}
+	for _, s := range st.Wake {
+		src, ok := in.wake[s.ID]
+		if !ok {
+			src = &rng.Source{}
+			in.wake[s.ID] = src
+		}
+		src.Restore(s.State)
+	}
+	in.downAt = make(map[int]time.Duration, len(st.DownAt))
+	for _, c := range st.DownAt {
+		in.downAt[c.ID] = time.Duration(c.AtNS)
+	}
+	in.outstanding = make(map[int]evacWindow, len(st.Outstanding))
+	for _, e := range st.Outstanding {
+		in.outstanding[e.VM] = evacWindow{since: time.Duration(e.SinceNS), end: time.Duration(e.EndNS)}
+	}
+	in.Stats = st.Stats
+	in.nextEvent = make(map[int]time.Duration, len(st.NextEvent))
+	for _, c := range st.NextEvent {
+		id, at := c.ID, time.Duration(c.AtNS)
+		if at < eng.Now() {
+			return fmt.Errorf("faults: pending clock for server %d at %v is before the engine's %v", id, at, eng.Now())
+		}
+		in.nextEvent[id] = at
+		if _, down := in.downAt[id]; down {
+			eng.After(at-eng.Now(), "fault:recover", func(*sim.Engine) { in.recoverNow(id) })
+		} else {
+			eng.After(at-eng.Now(), "fault:crash", func(*sim.Engine) { in.crashNow(id) })
+		}
+	}
+	return nil
+}

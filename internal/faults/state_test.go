@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// logTarget records every crash/recover with its virtual time, so two
+// injectors' event sequences can be compared literally.
+type logTarget struct {
+	eng *sim.Engine
+	log []string
+}
+
+func (t *logTarget) CrashServer(id int) []*trace.VM {
+	t.log = append(t.log, fmt.Sprintf("crash %d @%d", id, int64(t.eng.Now())))
+	return nil
+}
+func (t *logTarget) RecoverServer(id int) {
+	t.log = append(t.log, fmt.Sprintf("recover %d @%d", id, int64(t.eng.Now())))
+}
+func (t *logTarget) ReplaceVM(vm *trace.VM) {}
+
+// TestInjectorStateRoundTrip is the injector's stop/resume differential: an
+// uninterrupted run's post-cut event sequence and final statistics must be
+// reproduced exactly by a fresh injector restored from the cut state.
+func TestInjectorStateRoundTrip(t *testing.T) {
+	const (
+		servers = 8
+		cut     = 4 * time.Hour
+		horizon = 16 * time.Hour
+	)
+	cfg := Config{MTBF: 2 * time.Hour, MTTR: 20 * time.Minute}
+	build := func() (*Injector, *sim.Engine, *logTarget) {
+		in, err := New(cfg, servers, horizon, 42)
+		if err != nil {
+			t.Fatalf("new: %v", err)
+		}
+		eng := sim.New()
+		return in, eng, &logTarget{eng: eng}
+	}
+
+	// Uninterrupted run, paused (not stopped) at the cut to take the state.
+	in1, eng1, tgt1 := build()
+	in1.Start(eng1, tgt1)
+	eng1.Run(cut)
+	st := in1.State()
+	mark := len(tgt1.log)
+	eng1.Run(horizon)
+	in1.Finish()
+
+	// Fresh injector, restored from the cut, run over the same suffix.
+	in2, eng2, tgt2 := build()
+	if err := in2.Restore(eng2, tgt2, st); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	eng2.Run(horizon)
+	in2.Finish()
+
+	suffix1 := tgt1.log[mark:]
+	if len(suffix1) == 0 {
+		t.Fatal("fixture produced no post-cut events; enlarge the horizon")
+	}
+	if len(tgt2.log) != len(suffix1) {
+		t.Fatalf("restored run fired %d events, uninterrupted suffix has %d", len(tgt2.log), len(suffix1))
+	}
+	for i := range suffix1 {
+		if tgt2.log[i] != suffix1[i] {
+			t.Fatalf("event %d diverged: %q vs %q", i, tgt2.log[i], suffix1[i])
+		}
+	}
+	if in1.Stats != in2.Stats {
+		t.Fatalf("stats diverged:\n%+v\n%+v", in1.Stats, in2.Stats)
+	}
+}
+
+// TestInjectorStateCapturesDownServers: a server down at the cut must resume
+// down, with its repair (not a crash) as the pending clock.
+func TestInjectorStateCapturesDownServers(t *testing.T) {
+	cfg := Config{MTBF: time.Hour, MTTR: 5 * time.Hour}
+	in, err := New(cfg, 4, 48*time.Hour, 7)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	eng := sim.New()
+	tgt := &logTarget{eng: eng}
+	in.Start(eng, tgt)
+	eng.Run(4 * time.Hour) // long repairs: someone is down by now
+	st := in.State()
+	if len(st.DownAt) == 0 {
+		t.Fatal("fixture has no down server at the cut; adjust parameters")
+	}
+	if len(st.NextEvent) != 4 {
+		t.Fatalf("pending clocks for %d servers, want 4", len(st.NextEvent))
+	}
+
+	in2, err := New(cfg, 4, 48*time.Hour, 7)
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	eng2 := sim.New()
+	tgt2 := &logTarget{eng: eng2}
+	if err := in2.Restore(eng2, tgt2, st); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for _, c := range st.DownAt {
+		if _, down := in2.downAt[c.ID]; !down {
+			t.Fatalf("server %d lost its down state", c.ID)
+		}
+	}
+	// The restored run must not re-crash a down server: its first event for
+	// that server is the recover.
+	eng2.Run(48 * time.Hour)
+	seen := map[string]bool{}
+	for _, line := range tgt2.log {
+		var kind string
+		var id int
+		var at int64
+		if _, err := fmt.Sscanf(line, "%s %d @%d", &kind, &id, &at); err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		key := fmt.Sprintf("%d", id)
+		if !seen[key] {
+			seen[key] = true
+			_, wasDown := in.downAt[id]
+			if wasDown && kind != "recover" {
+				t.Fatalf("server %d was down at the cut but first event is %q", id, kind)
+			}
+			if !wasDown && kind != "crash" {
+				t.Fatalf("server %d was up at the cut but first event is %q", id, kind)
+			}
+		}
+	}
+}

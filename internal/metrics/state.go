@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// Serializable state for the stateful measurement primitives, so a
+// checkpoint can carry a run's accounting across a stop/resume boundary.
+// Map-backed internals are captured as key-sorted slices: the wire bytes of
+// a checkpoint are then deterministic, and restoring rebuilds the exact
+// value multiset the original held.
+
+// RateBucket is one (bucket index, count) pair of a RateCounter.
+type RateBucket struct {
+	Bucket int64 `json:"bucket"`
+	Count  int   `json:"count"`
+}
+
+// RateCounterState is the serializable state of a RateCounter (the name and
+// interval are configuration, re-supplied at construction).
+type RateCounterState struct {
+	Buckets []RateBucket `json:"buckets,omitempty"`
+	Total   int          `json:"total,omitempty"`
+}
+
+// State captures the counter's buckets, sorted by bucket index.
+func (r *RateCounter) State() RateCounterState {
+	st := RateCounterState{Total: r.total}
+	for b, c := range r.buckets {
+		st.Buckets = append(st.Buckets, RateBucket{Bucket: b, Count: c})
+	}
+	sort.Slice(st.Buckets, func(i, j int) bool { return st.Buckets[i].Bucket < st.Buckets[j].Bucket })
+	return st
+}
+
+// SetState replaces the counter's contents with st.
+func (r *RateCounter) SetState(st RateCounterState) {
+	r.buckets = make(map[int64]int, len(st.Buckets))
+	for _, b := range st.Buckets {
+		r.buckets[b.Bucket] = b.Count
+	}
+	r.total = st.Total
+}
+
+// OpenEpisode is one still-running violation episode of an EpisodeTracker.
+type OpenEpisode struct {
+	ID         int   `json:"id"`
+	DurationNS int64 `json:"duration_ns"`
+}
+
+// EpisodeTrackerState is the serializable state of an EpisodeTracker (the
+// tick is configuration, re-supplied at construction).
+type EpisodeTrackerState struct {
+	Open        []OpenEpisode `json:"open,omitempty"`
+	DurationsNS []int64       `json:"durations_ns,omitempty"`
+}
+
+// State captures the tracker's open episodes (sorted by entity ID) and the
+// completed durations in recording order.
+func (e *EpisodeTracker) State() EpisodeTrackerState {
+	st := EpisodeTrackerState{}
+	for id, d := range e.open {
+		st.Open = append(st.Open, OpenEpisode{ID: id, DurationNS: int64(d)})
+	}
+	sort.Slice(st.Open, func(i, j int) bool { return st.Open[i].ID < st.Open[j].ID })
+	for _, d := range e.durations {
+		st.DurationsNS = append(st.DurationsNS, int64(d))
+	}
+	return st
+}
+
+// SetState replaces the tracker's contents with st.
+func (e *EpisodeTracker) SetState(st EpisodeTrackerState) {
+	e.open = make(map[int]time.Duration, len(st.Open))
+	for _, o := range st.Open {
+		e.open[o.ID] = time.Duration(o.DurationNS)
+	}
+	e.durations = e.durations[:0]
+	for _, d := range st.DurationsNS {
+		e.durations = append(e.durations, time.Duration(d))
+	}
+}

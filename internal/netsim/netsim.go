@@ -110,6 +110,10 @@ func New(eng *sim.Engine, lat LatencyModel, src *rng.Source) *Network {
 	return &Network{eng: eng, lat: lat, src: src, handlers: make(map[NodeID]Handler)}
 }
 
+// RNG exposes the network's jitter stream so checkpointing layers can
+// capture and restore its position alongside the other simulation streams.
+func (n *Network) RNG() *rng.Source { return n.src }
+
 // Register installs the handler for a node. Re-registering replaces it.
 func (n *Network) Register(id NodeID, h Handler) {
 	if h == nil {

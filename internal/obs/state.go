@@ -1,0 +1,27 @@
+package obs
+
+// RestoreSnapshot installs the counter and gauge values of a previously
+// captured Snapshot, creating metrics that do not exist yet. Timers are NOT
+// restored: they measure host wall time, which is profiling telemetry, not
+// simulation state — a resumed run's timers cover only the resumed leg.
+// Metrics present in the registry but absent from the snapshot are left
+// untouched (they were zero, or did not exist, at capture time).
+func (r *Registry) RestoreSnapshot(s Snapshot) {
+	for name, v := range s.Counters {
+		c := r.Counter(name)
+		c.v.Store(v)
+	}
+	for name, v := range s.Gauges {
+		r.Gauge(name).Set(v)
+	}
+}
+
+// RestoreMetrics is the Recorder-level wrapper around
+// Registry.RestoreSnapshot; it is safe on a nil (disabled) recorder, where
+// it is a no-op.
+func (r *Recorder) RestoreMetrics(s Snapshot) {
+	if r == nil {
+		return
+	}
+	r.reg.RestoreSnapshot(s)
+}

@@ -18,6 +18,11 @@ import "math"
 type Source struct {
 	s0, s1, s2, s3 uint64
 
+	// base is the first state word as seeded at construction. Split and
+	// SplitIndex derive children from it — never from the mutable s0 — so the
+	// streams a source derives are independent of how many draws it has made.
+	base uint64
+
 	// Cached second variate for NormFloat64 (Marsaglia polar method).
 	spare     float64
 	haveSpare bool
@@ -43,6 +48,7 @@ func New(seed uint64) *Source {
 	s.s1 = splitmix64(&x)
 	s.s2 = splitmix64(&x)
 	s.s3 = splitmix64(&x)
+	s.base = s.s0
 	return &s
 }
 
@@ -62,17 +68,19 @@ func hashLabel(label string) uint64 {
 }
 
 // Split derives an independent stream identified by label. The derived stream
-// depends only on the receiver's seed material and the label, so components
-// can be created in any order (or in parallel) without changing their draws.
+// depends only on the receiver's seed material and the label — never on how
+// many draws the receiver has made — so components can be created in any
+// order (or in parallel) without changing their draws.
 func (s *Source) Split(label string) *Source {
-	mix := s.s0 ^ hashLabel(label)
+	mix := s.base ^ hashLabel(label)
 	return New(mix)
 }
 
 // SplitIndex derives an independent stream identified by an integer index,
-// e.g. one stream per VM or per server.
+// e.g. one stream per VM or per server. Like Split, the child depends only on
+// the receiver's seed material, the label and the index.
 func (s *Source) SplitIndex(label string, i int) *Source {
-	mix := s.s0 ^ hashLabel(label) ^ splitmixOnce(uint64(i)+0x632be59bd9b4e019)
+	mix := s.base ^ hashLabel(label) ^ splitmixOnce(uint64(i)+0x632be59bd9b4e019)
 	return New(mix)
 }
 
@@ -133,8 +141,13 @@ func mul64(a, b uint64) (hi, lo uint64) {
 }
 
 // Bernoulli performs a Bernoulli trial with success probability p
-// (clamped to [0,1]) and reports whether it succeeded.
+// (clamped to [0,1]) and reports whether it succeeded. It panics on NaN: a
+// NaN probability is always a caller bug, and silently consuming a draw for
+// it would shift the alignment of every later draw on the stream.
 func (s *Source) Bernoulli(p float64) bool {
+	if math.IsNaN(p) {
+		panic("rng: Bernoulli called with NaN probability")
+	}
 	if p <= 0 {
 		return false
 	}

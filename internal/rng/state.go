@@ -1,0 +1,128 @@
+package rng
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State is the complete serializable state of a Source: the four xoshiro256++
+// words, the seed material Split children derive from, and the Marsaglia
+// spare cache. Restoring a State reproduces the source bit for bit — every
+// subsequent draw, and every subsequently derived child stream, matches the
+// original. The zero State is not a valid generator state; only values
+// produced by Source.State round-trip.
+type State struct {
+	S         [4]uint64 `json:"s"`
+	Base      uint64    `json:"base"`
+	Spare     float64   `json:"spare,omitempty"`
+	HaveSpare bool      `json:"have_spare,omitempty"`
+}
+
+// State captures the source's current state.
+func (s *Source) State() State {
+	return State{
+		S:         [4]uint64{s.s0, s.s1, s.s2, s.s3},
+		Base:      s.base,
+		Spare:     s.spare,
+		HaveSpare: s.haveSpare,
+	}
+}
+
+// Restore overwrites the source with st. After Restore the source draws the
+// exact sequence the captured source would have drawn, and derives the exact
+// child streams it would have derived.
+func (s *Source) Restore(st State) {
+	s.s0, s.s1, s.s2, s.s3 = st.S[0], st.S[1], st.S[2], st.S[3]
+	s.base = st.Base
+	s.spare = st.Spare
+	s.haveSpare = st.HaveSpare
+}
+
+// FromState returns a new Source initialized to st.
+func FromState(st State) *Source {
+	s := &Source{}
+	s.Restore(st)
+	return s
+}
+
+// Fork derives the state of a branch stream from st and a branch label. The
+// empty label is the identity (the branch continues the original stream
+// unchanged); any other label yields a fresh stream seeded from the
+// captured state and the label, so sibling branches with distinct labels
+// diverge — deterministically: the same (state, label) pair always forks to
+// the same stream.
+func (st State) Fork(label string) State {
+	if label == "" {
+		return st
+	}
+	x := st.Base
+	mix := splitmix64(&x)
+	for _, w := range [...]uint64{st.S[0], st.S[1], st.S[2], st.S[3], hashLabel(label)} {
+		x ^= w
+		mix ^= splitmix64(&x)
+	}
+	return New(mix).State()
+}
+
+// Registry collects live Sources under stable string labels so a checkpoint
+// can capture and restore every stream a component owns. Labels must be
+// unique; the label set at restore time must match the captured set exactly,
+// so a stream silently missing from either side is an error instead of a
+// divergence.
+type Registry struct {
+	labels []string
+	srcs   map[string]*Source
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{srcs: make(map[string]*Source)}
+}
+
+// Add registers src under label. It panics on a nil source, an empty label,
+// or a duplicate label — all are wiring bugs, not runtime conditions.
+func (r *Registry) Add(label string, src *Source) {
+	if src == nil {
+		panic("rng: Registry.Add with nil source")
+	}
+	if label == "" {
+		panic("rng: Registry.Add with empty label")
+	}
+	if _, dup := r.srcs[label]; dup {
+		panic("rng: Registry.Add duplicate label " + label)
+	}
+	r.srcs[label] = src
+	r.labels = append(r.labels, label)
+}
+
+// Labels returns the registered labels in sorted order.
+func (r *Registry) Labels() []string {
+	out := append([]string(nil), r.labels...)
+	sort.Strings(out)
+	return out
+}
+
+// States captures the state of every registered source, keyed by label.
+func (r *Registry) States() map[string]State {
+	out := make(map[string]State, len(r.srcs))
+	for label, src := range r.srcs {
+		out[label] = src.State()
+	}
+	return out
+}
+
+// Restore installs the captured states into the registered sources. Every
+// registered label must be present in states and vice versa.
+func (r *Registry) Restore(states map[string]State) error {
+	if len(states) != len(r.srcs) {
+		return fmt.Errorf("rng: registry restore: %d captured streams, %d registered", len(states), len(r.srcs))
+	}
+	for label, st := range states {
+		src, ok := r.srcs[label]
+		if !ok {
+			return fmt.Errorf("rng: registry restore: captured stream %q has no registered source", label)
+		}
+		src.Restore(st)
+	}
+	return nil
+}

@@ -1,0 +1,230 @@
+package rng
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// Regression for the draw-order dependence bug: Split used to mix the
+// mutable s0, so splitting after intervening draws produced a different
+// child than splitting first. Children must depend only on seed material.
+func TestSplitIndependentOfDraws(t *testing.T) {
+	fresh := New(101)
+	drawn := New(101)
+	for i := 0; i < 1000; i++ {
+		drawn.Uint64()
+	}
+	drawn.NormFloat64() // also dirty the spare cache
+
+	a := fresh.Split("stream")
+	b := drawn.Split("stream")
+	for i := 0; i < 200; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Split child depends on the parent's draw position (draw %d)", i)
+		}
+	}
+
+	ai := fresh.SplitIndex("srv", 7)
+	bi := drawn.SplitIndex("srv", 7)
+	for i := 0; i < 200; i++ {
+		if ai.Uint64() != bi.Uint64() {
+			t.Fatalf("SplitIndex child depends on the parent's draw position (draw %d)", i)
+		}
+	}
+}
+
+// Grandchildren must be draw-order independent too: a restored or drawn-on
+// child derives the same streams as a fresh one.
+func TestSplitOfSplitIndependentOfDraws(t *testing.T) {
+	a := New(5).Split("child")
+	b := New(5).Split("child")
+	for i := 0; i < 100; i++ {
+		b.Uint64()
+	}
+	ga := a.Split("grand")
+	gb := b.Split("grand")
+	for i := 0; i < 50; i++ {
+		if ga.Uint64() != gb.Uint64() {
+			t.Fatal("grandchild stream depends on the child's draw position")
+		}
+	}
+}
+
+func TestBernoulliPanicsOnNaN(t *testing.T) {
+	s := New(3)
+	before := s.State()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Bernoulli(NaN) did not panic")
+			}
+		}()
+		s.Bernoulli(math.NaN())
+	}()
+	if s.State() != before {
+		t.Fatal("Bernoulli(NaN) consumed a draw before panicking")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	s := New(77)
+	for i := 0; i < 123; i++ {
+		s.Uint64()
+	}
+	s.NormFloat64() // leave a spare cached
+	if !s.haveSpare {
+		t.Fatal("test setup: expected a cached spare")
+	}
+
+	st := s.State()
+	clone := FromState(st)
+	for i := 0; i < 500; i++ {
+		if s.NormFloat64() != clone.NormFloat64() {
+			t.Fatalf("restored source diverged at draw %d", i)
+		}
+		if s.Uint64() != clone.Uint64() {
+			t.Fatalf("restored source diverged at draw %d", i)
+		}
+	}
+	// Derived streams must round-trip too.
+	a := FromState(st).Split("x")
+	b := FromState(st).Split("x")
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("restored sources derive different children")
+	}
+	fresh := New(77).Split("x")
+	if FromState(st).Split("x").Uint64() != fresh.Uint64() {
+		t.Fatal("restored source derives different children than the original lineage")
+	}
+}
+
+func TestStateJSONRoundTrip(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 41; i++ {
+		s.Float64()
+	}
+	s.NormFloat64()
+	st := s.State()
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back State
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != st {
+		t.Fatalf("state JSON round-trip changed bits: %+v != %+v", back, st)
+	}
+}
+
+func TestForkDeterministicAndDivergent(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 10; i++ {
+		s.Uint64()
+	}
+	st := s.State()
+
+	if st.Fork("") != st {
+		t.Fatal("empty-label fork is not the identity")
+	}
+	f1 := st.Fork("branch/1")
+	f2 := st.Fork("branch/1")
+	if f1 != f2 {
+		t.Fatal("same-label forks differ")
+	}
+	f3 := st.Fork("branch/2")
+	if f3 == f1 {
+		t.Fatal("distinct-label forks coincide")
+	}
+	a, b, orig := FromState(f1), FromState(f3), FromState(st)
+	same13, same1o := 0, 0
+	for i := 0; i < 100; i++ {
+		ov := orig.Uint64()
+		av := a.Uint64()
+		if av == b.Uint64() {
+			same13++
+		}
+		if av == ov {
+			same1o++
+		}
+	}
+	if same13 > 0 || same1o > 0 {
+		t.Fatalf("forked streams overlap: %d draws equal across labels, %d equal to original", same13, same1o)
+	}
+	// Forks from different positions of the same stream must also diverge.
+	orig.Uint64()
+	if later := orig.State().Fork("branch/1"); later == f1 {
+		t.Fatal("fork ignores the stream position")
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	master := New(21)
+	reg := NewRegistry()
+	srcs := map[string]*Source{
+		"manager":  master.Split("manager"),
+		"server/0": master.SplitIndex("server", 0),
+		"server/1": master.SplitIndex("server", 1),
+	}
+	for label, src := range srcs {
+		reg.Add(label, src)
+	}
+	srcs["manager"].Uint64()
+	srcs["server/1"].NormFloat64()
+
+	states := reg.States()
+	want := map[string]uint64{}
+	for label, src := range srcs {
+		want[label] = FromState(src.State()).Uint64()
+	}
+
+	// Trash every source, then restore.
+	for _, src := range srcs {
+		src.Restore(New(999).State())
+	}
+	if err := reg.Restore(states); err != nil {
+		t.Fatal(err)
+	}
+	for label, src := range srcs {
+		if got := src.Uint64(); got != want[label] {
+			t.Fatalf("stream %q not restored: draw %d, want %d", label, got, want[label])
+		}
+	}
+
+	if got, want := len(reg.Labels()), 3; got != want {
+		t.Fatalf("Labels() returned %d labels, want %d", got, want)
+	}
+
+	// Mismatched label sets are errors, not silent divergence.
+	delete(states, "server/0")
+	if err := reg.Restore(states); err == nil {
+		t.Fatal("restore with a missing stream did not error")
+	}
+	states["server/2"] = New(1).State()
+	if err := reg.Restore(states); err == nil {
+		t.Fatal("restore with an unknown stream did not error")
+	}
+}
+
+func TestRegistryAddPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		do   func(r *Registry)
+	}{
+		{"nil source", func(r *Registry) { r.Add("x", nil) }},
+		{"empty label", func(r *Registry) { r.Add("", New(1)) }},
+		{"duplicate", func(r *Registry) { r.Add("x", New(1)); r.Add("x", New(2)) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: Add did not panic", c.name)
+				}
+			}()
+			c.do(NewRegistry())
+		}()
+	}
+}

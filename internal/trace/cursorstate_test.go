@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCursorStateRoundTrip(t *testing.T) {
+	vm := &VM{
+		ID:     1,
+		Start:  0,
+		End:    10 * time.Hour,
+		Epoch:  30 * time.Minute,
+		Demand: []float64{100, 250, 75, 300},
+	}
+	orig := DemandCursor{VM: vm}
+	orig.Lookup(75 * time.Minute) // park the memo mid-trace
+
+	restored := DemandCursor{VM: vm}
+	restored.SetState(orig.State())
+	if restored != orig {
+		t.Fatalf("cursor state round-trip changed the memo: %+v != %+v", restored, orig)
+	}
+
+	for _, at := range []time.Duration{80 * time.Minute, 89 * time.Minute, 90 * time.Minute, 9 * time.Hour, 11 * time.Hour} {
+		gd, gf, gu := restored.Lookup(at)
+		wd, wf, wu := orig.Lookup(at)
+		if gd != wd || gf != wf || gu != wu {
+			t.Fatalf("restored cursor diverged at %v: got (%v,%v,%v) want (%v,%v,%v)", at, gd, gf, gu, wd, wf, wu)
+		}
+	}
+
+	// The zero CursorState restores an invalid (cold) memo.
+	var cold DemandCursor
+	cold.VM = vm
+	cold.SetState(CursorState{})
+	if cold.valid {
+		t.Fatal("zero CursorState restored a valid memo")
+	}
+}

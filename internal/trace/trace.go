@@ -161,6 +161,28 @@ func (c *DemandCursor) Lookup(t time.Duration) (mhz float64, from, until time.Du
 	return c.VM.Demand[c.idx], c.from, c.until
 }
 
+// CursorState is the serializable memo of a DemandCursor: the cached sample
+// index and its validity window, without the VM pointer (the owner re-binds
+// the cursor to its VM on restore).
+type CursorState struct {
+	Valid   bool  `json:"valid,omitempty"`
+	Idx     int   `json:"idx,omitempty"`
+	FromNS  int64 `json:"from_ns,omitempty"`
+	UntilNS int64 `json:"until_ns,omitempty"`
+}
+
+// State captures the cursor's memo.
+func (c *DemandCursor) State() CursorState {
+	return CursorState{Valid: c.valid, Idx: c.idx, FromNS: int64(c.from), UntilNS: int64(c.until)}
+}
+
+// SetState installs a previously captured memo. The cursor must already be
+// bound to the same VM the state was captured against; a restored cursor then
+// answers every Lookup exactly as the captured one would have.
+func (c *DemandCursor) SetState(st CursorState) {
+	c.valid, c.idx, c.from, c.until = st.Valid, st.Idx, time.Duration(st.FromNS), time.Duration(st.UntilNS)
+}
+
 // Avg returns the mean demand over the VM's samples (MHz).
 func (v *VM) Avg() float64 {
 	if len(v.Demand) == 0 {
