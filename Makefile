@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fixtures test bench bench-scale parscale figures faults forkedsweep race cover clean
+.PHONY: all build vet lint lint-fixtures test bench bench-scale parscale figures faults forkedsweep knee race cover clean
 
 all: build vet lint test
 
@@ -70,6 +70,13 @@ faults:
 # proof against a from-scratch run. See DESIGN.md "Checkpoint & branch".
 forkedsweep:
 	$(GO) run ./cmd/ecobench -out out -experiments forkedsweep
+
+# Overload-knee sweep in quick mode: stepped churn-rate ramps with the
+# load harness's stop-rule, ecoCloud vs BFD, writing out/knee.csv. Full
+# scale: `go run ./cmd/ecobench -out out -experiments knee`. See DESIGN.md
+# "Load harness".
+knee:
+	$(GO) run ./cmd/ecobench -out out -experiments knee -scale 0.1
 
 # Remove run artifacts but keep the checked-in figure CSVs and report.
 clean:

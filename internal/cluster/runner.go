@@ -44,6 +44,17 @@ type RunConfig struct {
 	// computes all metrics every 30 minutes).
 	SampleInterval time.Duration
 
+	// MeasureFrom excludes the warm-up prefix [0, MeasureFrom) from the
+	// aggregate accounting: VMOverloadTimeFrac, RAMOverloadTimeFrac,
+	// GrantedFracInOverload and MeanActiveServers only integrate control
+	// ticks at t >= MeasureFrom. The sampled series, episode tracker,
+	// counters and energy integral still cover the whole run — warm-up
+	// trimming is a measurement concern, not a simulation one. Zero (the
+	// default) measures from t=0, which is the historical behaviour. Used
+	// by the load harness, whose ramp slots need steady-state violation
+	// fractions uncontaminated by the fill-up transient.
+	MeasureFrom time.Duration
+
 	PowerModel dc.PowerModel
 	Initial    InitialPlacement
 
@@ -136,6 +147,10 @@ func (c RunConfig) Validate() error {
 		return fmt.Errorf("cluster: ControlInterval = %v", c.ControlInterval)
 	case c.SampleInterval <= 0:
 		return fmt.Errorf("cluster: SampleInterval = %v", c.SampleInterval)
+	case c.MeasureFrom < 0:
+		return fmt.Errorf("cluster: MeasureFrom = %v", c.MeasureFrom)
+	case c.MeasureFrom >= c.Horizon:
+		return fmt.Errorf("cluster: MeasureFrom %v is not before the horizon %v", c.MeasureFrom, c.Horizon)
 	case c.PowerModel.PeakW <= 0:
 		return fmt.Errorf("cluster: power model peak = %v", c.PowerModel.PeakW)
 	case c.Workers < 0:
@@ -560,27 +575,38 @@ func Run(cfg RunConfig, policy Policy, opts ...Option) (*Result, error) {
 			}
 		}
 		observe(now)
+		// Warm-up gate: ticks before MeasureFrom feed the windowed series and
+		// the episode tracker (which report over time and can show the
+		// transient honestly) but not the whole-run aggregates.
+		measured := now >= cfg.MeasureFrom
 		for i := range slots {
 			sl := &slots[i]
 			if !sl.Active {
 				continue
 			}
 			res.Episodes.Observe(d.Servers[i].ID, sl.Over)
-			acc.vmTicks += sl.NVMs
 			acc.winVMTicks += sl.NVMs
 			if sl.Over {
-				acc.vmOverTicks += sl.NVMs
 				acc.winVMOverTicks += sl.NVMs
+				cfg.Obs.Count("cluster.overload_server_ticks", 1)
+			}
+			if !measured {
+				continue
+			}
+			acc.vmTicks += sl.NVMs
+			if sl.Over {
+				acc.vmOverTicks += sl.NVMs
 				acc.overDemandMHz += sl.Demand
 				acc.overCapacityMHz += sl.Cap
-				cfg.Obs.Count("cluster.overload_server_ticks", 1)
 			}
 			if sl.RAMOver {
 				acc.vmRAMOverTicks += sl.NVMs
 			}
 		}
-		acc.activeTickSum += float64(d.ActiveCount())
-		acc.controlTicks++
+		if measured {
+			acc.activeTickSum += float64(d.ActiveCount())
+			acc.controlTicks++
+		}
 		// Energy: integrate draw over the next interval (left Riemann sum),
 		// clamped so the run integrates exactly [0, Horizon): the tick at
 		// t == Horizon contributes nothing, and a final partial interval

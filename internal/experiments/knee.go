@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/dc"
+	"repro/internal/ecocloud"
+	"repro/internal/load"
+	"repro/internal/rng"
+)
+
+// KneeOptions parameterizes the overload-knee sweep: for each fleet size
+// and policy, a stepped churn-rate ramp (internal/load) climbs until the
+// stop-rule fires, and the knee — the maximum sustainable VM churn rate —
+// is reported. RunConfig.Servers and NumVMs are unused (FleetSizes and the
+// per-slot auto-population replace them); Horizon is unused (each slot runs
+// for Slot).
+type KneeOptions struct {
+	RunConfig
+
+	// FleetSizes are the sweep's fleet sizes; each uses a uniform fleet of
+	// Cores x CoreMHz servers.
+	FleetSizes []int
+	Cores      int
+	CoreMHz    float64
+
+	// StartPerServerHour and StepPerServerHour define the rate ladder in
+	// per-server terms, so the same ladder stresses every fleet size
+	// proportionally; absolute slot rates are these times the fleet size.
+	StartPerServerHour float64
+	StepPerServerHour  float64
+	Slot               time.Duration
+	MaxSlots           int
+	WarmupFrac         float64
+	Threshold          float64
+	Tolerance          int
+
+	IAT   load.IAT
+	Shape load.VMShape
+
+	Eco      ecocloud.Config
+	Baseline baseline.Config
+	Power    dc.PowerModel
+	Control  time.Duration
+	Sample   time.Duration
+}
+
+// DefaultKneeOptions sweeps 50- and 100-server fleets of the Fig. 12 server
+// class for ecoCloud and BFD. The ladder starts well inside sustainable
+// territory (~10 arrivals/server/h with 90-minute lifetimes is ~15 resident
+// VMs/server, ~3.6 of 12 GHz demanded) and steps toward saturation
+// (capacity exhausts near 33 arrivals/server/h).
+func DefaultKneeOptions() KneeOptions {
+	return KneeOptions{
+		RunConfig:          RunConfig{Seed: 1},
+		FleetSizes:         []int{50, 100},
+		Cores:              6,
+		CoreMHz:            2000,
+		StartPerServerHour: 10,
+		StepPerServerHour:  4,
+		Slot:               2 * time.Hour,
+		MaxSlots:           12,
+		WarmupFrac:         0.5,
+		Threshold:          0.05,
+		Tolerance:          2,
+		IAT:                load.IATExponential,
+		Shape:              load.DefaultVMShape(),
+		Eco:                ecocloud.DefaultConfig(),
+		Baseline:           baseline.DefaultConfig(),
+		Power:              dc.DefaultPowerModel(),
+		Control:            5 * time.Minute,
+		Sample:             30 * time.Minute,
+	}
+}
+
+// KneeCell is one (fleet size, policy) ramp.
+type KneeCell struct {
+	Servers int
+	Policy  string
+	// KneePerHour is the highest sustained absolute churn rate;
+	// KneePerServerHour normalizes it by the fleet size.
+	KneePerHour       float64
+	KneePerServerHour float64
+	SlotsRun          int
+	Halted            bool
+	Slots             []load.Slot
+}
+
+// KneeResult holds the sweep in (fleet, policy) order.
+type KneeResult struct {
+	Cells []KneeCell
+}
+
+// Knee runs the sweep. Cells are independent ramps over disjoint rng
+// streams, so they execute concurrently; within a cell the slots run
+// sequentially because each verdict gates the next rung.
+func Knee(opts KneeOptions) (*KneeResult, error) {
+	if len(opts.FleetSizes) == 0 {
+		return nil, fmt.Errorf("experiments: knee: no fleet sizes")
+	}
+	bcfg := opts.Baseline
+	bcfg.Power = opts.Power
+	type policyDef struct {
+		name string
+		make func(seed uint64) (cluster.Policy, error)
+	}
+	policies := []policyDef{
+		{"ecocloud", func(seed uint64) (cluster.Policy, error) { return ecocloud.New(opts.Eco, seed) }},
+		{"bfd", func(seed uint64) (cluster.Policy, error) { return baseline.NewBFD(bcfg) }},
+	}
+
+	type cellDef struct {
+		servers int
+		policy  policyDef
+	}
+	var cells []cellDef
+	for _, n := range opts.FleetSizes {
+		for _, p := range policies {
+			cells = append(cells, cellDef{servers: n, policy: p})
+		}
+	}
+
+	// Per-cell seeds from an indexed split of the master: cells stay
+	// independent replications however the grid is arranged.
+	seeds := rng.New(opts.Seed)
+	cellSeeds := make([]uint64, len(cells))
+	for i := range cells {
+		cellSeeds[i] = seeds.SplitIndex("cell", i).Uint64()
+	}
+
+	results := make([]KneeCell, len(cells))
+	err := forEach(len(cells), func(i int) error {
+		c := cells[i]
+		runner := load.NewClusterRunner(load.ClusterRunnerConfig{
+			Specs:     dc.UniformFleet(c.servers, opts.Cores, opts.CoreMHz),
+			NewPolicy: c.policy.make,
+			Load: load.Config{
+				Mode:           load.ModeStress,
+				IAT:            opts.IAT,
+				Shape:          opts.Shape,
+				RefCapacityMHz: opts.CoreMHz * float64(opts.Cores),
+			},
+			AutoPopulate:    true,
+			ControlInterval: opts.Control,
+			SampleInterval:  opts.Sample,
+			PowerModel:      opts.Power,
+			Workers:         opts.Workers,
+		})
+		ramp, err := load.Ramp(load.RampConfig{
+			StartPerHour: opts.StartPerServerHour * float64(c.servers),
+			StepPerHour:  opts.StepPerServerHour * float64(c.servers),
+			Slot:         opts.Slot,
+			MaxSlots:     opts.MaxSlots,
+			WarmupFrac:   opts.WarmupFrac,
+			Threshold:    opts.Threshold,
+			Tolerance:    opts.Tolerance,
+			Seed:         cellSeeds[i],
+		}, runner)
+		if err != nil {
+			return fmt.Errorf("experiments: knee %d servers / %s: %w", c.servers, c.policy.name, err)
+		}
+		results[i] = KneeCell{
+			Servers:           c.servers,
+			Policy:            c.policy.name,
+			KneePerHour:       ramp.KneePerHour,
+			KneePerServerHour: ramp.KneePerHour / float64(c.servers),
+			SlotsRun:          len(ramp.Slots),
+			Halted:            ramp.Halted,
+			Slots:             ramp.Slots,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &KneeResult{Cells: results}, nil
+}
+
+// Figure materializes the knee table: one row per ramp slot, so the CSV
+// carries the whole overload curve, not just its knee.
+func (k *KneeResult) Figure() *Figure {
+	f := &Figure{
+		ID:    "knee",
+		Title: "max sustainable VM churn rate vs fleet size (stepped ramp, overload stop-rule)",
+		Columns: []string{
+			"fleet_size", "policy_idx", "slot", "rate_per_hour", "rate_per_server_hour",
+			"violation_frac", "reject_frac", "mean_active_servers", "energy_kwh",
+			"arrivals", "breach",
+		},
+	}
+	for _, c := range k.Cells {
+		pidx := 0.0
+		if c.Policy == "bfd" {
+			pidx = 1
+		}
+		for _, s := range c.Slots {
+			breach := 0.0
+			if s.Breach {
+				breach = 1
+			}
+			f.Add(float64(c.Servers), pidx, float64(s.Index), s.RatePerHour,
+				s.RatePerHour/float64(c.Servers),
+				s.Metrics.ViolationFrac, s.Metrics.RejectFrac,
+				s.Metrics.MeanActiveServers, s.Metrics.EnergyKWh,
+				float64(s.Metrics.Arrivals), breach)
+		}
+		state := "stop-rule halted"
+		if !c.Halted {
+			state = "ladder exhausted (knee is a lower bound)"
+		}
+		f.Notef("%d servers / %s: knee %.0f VMs/h (%.1f per server-hour) after %d slots, %s",
+			c.Servers, c.Policy, c.KneePerHour, c.KneePerServerHour, c.SlotsRun, state)
+	}
+	return f
+}

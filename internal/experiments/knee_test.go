@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// quickKneeOptions mirrors the registry's -scale quick path.
+func quickKneeOptions() KneeOptions {
+	opts := DefaultKneeOptions()
+	opts.FleetSizes = []int{20}
+	opts.Slot = time.Hour
+	opts.MaxSlots = 6
+	opts.StartPerServerHour = 16
+	opts.StepPerServerHour = 8
+	opts.Tolerance = 1
+	return opts
+}
+
+func kneeCSV(t *testing.T, opts KneeOptions) []byte {
+	t.Helper()
+	res, err := Knee(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Figure().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestKneeIsSeedDeterministic is the seed-determinism golden: the same seed
+// must produce a byte-identical knee CSV, and a different seed a different
+// sweep (the experiment actually consumes its seed).
+func TestKneeIsSeedDeterministic(t *testing.T) {
+	a := kneeCSV(t, quickKneeOptions())
+	b := kneeCSV(t, quickKneeOptions())
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different knee CSVs")
+	}
+	other := quickKneeOptions()
+	other.Seed = 2
+	if bytes.Equal(a, kneeCSV(t, other)) {
+		t.Fatal("different seeds produced identical knee CSVs")
+	}
+}
+
+// TestKneeWorkerBitIdentity: the cluster worker count is a throughput knob,
+// never an input — the sweep's CSV must be byte-identical at workers 0, 1
+// and 8. The 150-server fleet clears the par engine's fan-out floor, so the
+// pooled code path genuinely executes.
+func TestKneeWorkerBitIdentity(t *testing.T) {
+	opts := quickKneeOptions()
+	opts.FleetSizes = []int{150}
+	opts.MaxSlots = 3
+	base := kneeCSV(t, opts)
+	for _, workers := range []int{1, 8} {
+		o := opts
+		o.Workers = workers
+		if !bytes.Equal(base, kneeCSV(t, o)) {
+			t.Fatalf("workers=%d knee CSV differs from sequential", workers)
+		}
+	}
+}
+
+// TestKneeStopRuleWithinTolerance: every halted cell must have accumulated
+// exactly Tolerance+1 breaches — the ramp stopped at the first slot the
+// budget allowed, never later — and its knee must be the highest clean
+// rung below the first breach.
+func TestKneeStopRuleWithinTolerance(t *testing.T) {
+	opts := quickKneeOptions()
+	res, err := Knee(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		if !c.Halted {
+			t.Fatalf("%d servers / %s: ladder exhausted without tripping the stop-rule (raise MaxSlots or the ladder)", c.Servers, c.Policy)
+		}
+		breaches := 0
+		lastClean := 0.0
+		for _, s := range c.Slots {
+			if s.Breach {
+				breaches++
+			} else {
+				lastClean = s.RatePerHour
+			}
+		}
+		if breaches != opts.Tolerance+1 {
+			t.Fatalf("%d servers / %s: halted after %d breaches, want exactly tolerance+1 = %d",
+				c.Servers, c.Policy, breaches, opts.Tolerance+1)
+		}
+		if !c.Slots[len(c.Slots)-1].Breach {
+			t.Fatalf("%d servers / %s: final slot did not breach, so the halt was late", c.Servers, c.Policy)
+		}
+		if c.KneePerHour != lastClean {
+			t.Fatalf("%d servers / %s: knee %v != last clean rung %v", c.Servers, c.Policy, c.KneePerHour, lastClean)
+		}
+	}
+}

@@ -323,6 +323,33 @@ func init() {
 		},
 	})
 	Register(Experiment{
+		Name:        "knee",
+		Description: "max sustainable churn rate vs fleet size: stepped load ramp with an overload stop-rule (ecoCloud vs BFD)",
+		Run: func(req RunRequest) (*RunResult, error) {
+			opts := DefaultKneeOptions()
+			if req.scale() < 1 {
+				// Quick runs: one small fleet, short coarse slots, a tight
+				// tolerance — enough to exercise the ramp end to end and
+				// still cross the knee within the ladder.
+				opts.FleetSizes = []int{20}
+				opts.Slot = time.Hour
+				opts.MaxSlots = 6
+				opts.StartPerServerHour = 16
+				opts.StepPerServerHour = 8
+				opts.Tolerance = 1
+			}
+			opts.RunConfig = req.Config.overlay(opts.RunConfig)
+			if req.Eco != nil {
+				opts.Eco = *req.Eco
+			}
+			res, err := Knee(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &RunResult{Name: "knee", Figures: []*Figure{res.Figure()}, Raw: res}, nil
+		},
+	})
+	Register(Experiment{
 		Name:        "forkedsweep",
 		Description: "sensitivity grid branched from one checkpointed warm prefix, with an identity-fork byte-identity proof",
 		Run: func(req RunRequest) (*RunResult, error) {

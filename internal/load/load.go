@@ -1,0 +1,319 @@
+// Package load is the deterministic arrival-process driver: it synthesizes
+// churn workloads (trace.Set values) from a small set of load shapes — the
+// modes and inter-arrival-time distributions of an invitro-style loader —
+// and ramps them against a cluster policy to find the knee, the highest
+// sustainable churn rate before the violation stop-rule fires.
+//
+// Everything is a pure function of the configuration and a uint64 seed:
+// arrival times, demands and lifetimes come from labeled rng splits, so the
+// same (Config, seed) pair produces a byte-identical workload on any machine
+// and at any cluster worker count. That is the same determinism contract the
+// rest of the repository runs under (see DESIGN.md), and it is what makes a
+// ramp's knee a reproducible measurement instead of an anecdote.
+package load
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+// Mode selects the arrival-process shape, mirroring the mode vocabulary of
+// serverless load generators (trace replay, sustained stress, periodic
+// bursts, cold start).
+type Mode int
+
+const (
+	// ModeTrace replays the paper's daily-modulated arrival pattern: a base
+	// rate modulated by 1 + A·cos(2π(h-peak)/24), with an initial population
+	// preloaded at t=0. With IATExponential this is exactly the
+	// trace.GenerateChurn process.
+	ModeTrace Mode = iota
+	// ModeStress drives a constant arrival rate with a preloaded
+	// steady-state population — the shape the ramp steps through.
+	ModeStress
+	// ModeBurst alternates a constant base rate with periodic bursts: every
+	// BurstEvery the rate multiplies by BurstFactor for BurstLen.
+	ModeBurst
+	// ModeColdstart is ModeStress from an empty data center: no initial
+	// population, so the run measures the fill-up transient itself.
+	ModeColdstart
+)
+
+var modeNames = map[Mode]string{
+	ModeTrace:     "trace",
+	ModeStress:    "stress",
+	ModeBurst:     "burst",
+	ModeColdstart: "coldstart",
+}
+
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode maps a flag string to its Mode.
+func ParseMode(s string) (Mode, error) {
+	for m, name := range modeNames {
+		if name == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("load: unknown mode %q (have trace, stress, burst, coldstart)", s)
+}
+
+// IAT selects the inter-arrival-time distribution. All three share the mean
+// gap 1/rate(t); they differ in variability (CV 1, 1/√3, 0).
+type IAT int
+
+const (
+	// IATExponential is a Poisson process — for time-varying rates a
+	// non-homogeneous one, realized by thinning against the peak rate.
+	IATExponential IAT = iota
+	// IATUniform draws each gap uniformly from (0, 2/rate(t)]: same mean as
+	// exponential, CV 1/√3 — a "smoothed Poisson" stream.
+	IATUniform
+	// IATEquidistant spaces arrivals exactly 1/rate(t) apart: a deterministic
+	// metronome, CV 0, the lowest-variance stream a rate admits.
+	IATEquidistant
+)
+
+var iatNames = map[IAT]string{
+	IATExponential: "exponential",
+	IATUniform:     "uniform",
+	IATEquidistant: "equidistant",
+}
+
+func (d IAT) String() string {
+	if s, ok := iatNames[d]; ok {
+		return s
+	}
+	return fmt.Sprintf("IAT(%d)", int(d))
+}
+
+// ParseIAT maps a flag string to its IAT.
+func ParseIAT(s string) (IAT, error) {
+	for d, name := range iatNames {
+		if name == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("load: unknown IAT distribution %q (have exponential, uniform, equidistant)", s)
+}
+
+// VMShape describes the per-VM marginals: how long an arrival lives and how
+// much CPU it wants (constant over its life, like the churn generator).
+type VMShape struct {
+	MeanLifetime    time.Duration
+	DemandMedianMHz float64
+	DemandSigma     float64
+	MaxDemandMHz    float64
+}
+
+// DefaultVMShape matches trace.DefaultChurnConfig: 90-minute exponential
+// lifetimes, log-normal demand with median 200 MHz and σ=0.6, capped at one
+// reference core.
+func DefaultVMShape() VMShape {
+	return VMShape{
+		MeanLifetime:    90 * time.Minute,
+		DemandMedianMHz: 200,
+		DemandSigma:     0.6,
+		MaxDemandMHz:    2400,
+	}
+}
+
+// MeanDemandMHz returns the analytic mean of the (uncapped) log-normal
+// demand draw — what capacity planning against this shape should budget per
+// VM.
+func (s VMShape) MeanDemandMHz() float64 {
+	return s.DemandMedianMHz * math.Exp(s.DemandSigma*s.DemandSigma/2)
+}
+
+// Config fully describes one workload build.
+type Config struct {
+	Mode Mode
+	IAT  IAT
+
+	Horizon time.Duration
+	// RatePerHour is the base arrival rate (absolute, per hour).
+	RatePerHour float64
+	// InitialVMs are preloaded at t=0. ModeColdstart requires 0.
+	InitialVMs int
+
+	// Daily modulation, ModeTrace only (same convention as trace.GenConfig).
+	DailyAmplitude float64
+	PeakHour       float64
+
+	// Burst geometry, ModeBurst only: every BurstEvery the rate multiplies
+	// by BurstFactor for BurstLen.
+	BurstFactor float64
+	BurstEvery  time.Duration
+	BurstLen    time.Duration
+
+	Shape          VMShape
+	RefCapacityMHz float64
+
+	Seed uint64
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Horizon <= 0:
+		return fmt.Errorf("load: Horizon = %v", c.Horizon)
+	case c.RatePerHour <= 0:
+		return fmt.Errorf("load: RatePerHour = %v", c.RatePerHour)
+	case c.InitialVMs < 0:
+		return fmt.Errorf("load: InitialVMs = %d", c.InitialVMs)
+	case c.Shape.MeanLifetime <= 0:
+		return fmt.Errorf("load: MeanLifetime = %v", c.Shape.MeanLifetime)
+	case c.Shape.DemandMedianMHz <= 0 || c.Shape.DemandSigma < 0:
+		return fmt.Errorf("load: demand params %v/%v", c.Shape.DemandMedianMHz, c.Shape.DemandSigma)
+	case c.Shape.MaxDemandMHz <= 0:
+		return fmt.Errorf("load: MaxDemandMHz = %v", c.Shape.MaxDemandMHz)
+	case c.RefCapacityMHz <= 0:
+		return fmt.Errorf("load: RefCapacityMHz = %v", c.RefCapacityMHz)
+	}
+	switch c.Mode {
+	case ModeTrace:
+		if c.DailyAmplitude < 0 || c.DailyAmplitude >= 1 {
+			return fmt.Errorf("load: DailyAmplitude = %v", c.DailyAmplitude)
+		}
+	case ModeStress:
+		// No extra knobs.
+	case ModeBurst:
+		switch {
+		case c.BurstFactor < 1:
+			return fmt.Errorf("load: BurstFactor = %v (want >= 1)", c.BurstFactor)
+		case c.BurstEvery <= 0:
+			return fmt.Errorf("load: BurstEvery = %v", c.BurstEvery)
+		case c.BurstLen <= 0 || c.BurstLen > c.BurstEvery:
+			return fmt.Errorf("load: BurstLen = %v (want in (0, BurstEvery])", c.BurstLen)
+		}
+	case ModeColdstart:
+		if c.InitialVMs != 0 {
+			return fmt.Errorf("load: coldstart with %d initial VMs (the mode measures the empty-fleet fill-up)", c.InitialVMs)
+		}
+	default:
+		return fmt.Errorf("load: unknown mode %d", int(c.Mode))
+	}
+	return nil
+}
+
+// rateAt returns the instantaneous arrival rate (per hour) at time t.
+func (c Config) rateAt(t time.Duration) float64 {
+	switch c.Mode {
+	case ModeTrace:
+		return c.RatePerHour * trace.DailyFactor(t, c.DailyAmplitude, c.PeakHour)
+	case ModeBurst:
+		if t%c.BurstEvery < c.BurstLen {
+			return c.RatePerHour * c.BurstFactor
+		}
+		return c.RatePerHour
+	default: // stress, coldstart
+		return c.RatePerHour
+	}
+}
+
+// peakRate returns the supremum of rateAt over the horizon — the thinning
+// envelope for the exponential stream.
+func (c Config) peakRate() float64 {
+	switch c.Mode {
+	case ModeTrace:
+		return c.RatePerHour * (1 + c.DailyAmplitude)
+	case ModeBurst:
+		return c.RatePerHour * c.BurstFactor
+	default:
+		return c.RatePerHour
+	}
+}
+
+// Build synthesizes the workload: InitialVMs at t=0, then arrivals over
+// (0, Horizon) following the mode's rate curve under the chosen IAT
+// distribution. Demands are log-normal (capped), lifetimes exponential
+// (floored to one instant), and — like trace.GenerateChurn after the
+// horizon-clamp fix — a VM whose life crosses the horizon keeps its natural
+// End and simply outlives the run, so the final control tick still sees its
+// demand. With ModeTrace and IATExponential the draw sequence is identical
+// to trace.GenerateChurn's, which the tests pin.
+func Build(cfg Config) (*trace.Set, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	master := rng.New(cfg.Seed)
+	demandSrc := master.Split("demand")
+	lifeSrc := master.Split("lifetime")
+	arrSrc := master.Split("arrivals")
+	mu := math.Log(cfg.Shape.DemandMedianMHz)
+
+	set := &trace.Set{RefCapacityMHz: cfg.RefCapacityMHz}
+	id := 0
+	newVM := func(start time.Duration) *trace.VM {
+		d := demandSrc.LogNormal(mu, cfg.Shape.DemandSigma)
+		if d > cfg.Shape.MaxDemandMHz {
+			d = cfg.Shape.MaxDemandMHz
+		}
+		life := time.Duration(lifeSrc.ExpFloat64() * float64(cfg.Shape.MeanLifetime))
+		if life <= 0 {
+			life = 1 // zero-lifetime floor, same semantics as GenerateChurn
+		}
+		vm := &trace.VM{ID: id, Start: start, End: start + life, Epoch: cfg.Horizon, Demand: []float64{d}}
+		id++
+		return vm
+	}
+
+	for i := 0; i < cfg.InitialVMs; i++ {
+		set.VMs = append(set.VMs, newVM(0))
+	}
+
+	switch cfg.IAT {
+	case IATExponential:
+		// Thinning: candidate gaps from the peak-rate Poisson process, each
+		// candidate accepted with probability rate(t)/peak. The accepted
+		// stream is a non-homogeneous Poisson process with intensity
+		// rate(t); for constant-rate modes every candidate is accepted.
+		peak := cfg.peakRate()
+		t := time.Duration(0)
+		for {
+			gap := arrSrc.ExpFloat64() / peak // hours
+			t += time.Duration(gap * float64(time.Hour))
+			if t >= cfg.Horizon {
+				break
+			}
+			if arrSrc.Float64() < cfg.rateAt(t)/peak {
+				set.VMs = append(set.VMs, newVM(t))
+			}
+		}
+	case IATUniform:
+		// Gap ~ U(0, 2/rate] at the rate in force when the gap starts:
+		// mean 1/rate, CV 1/√3.
+		t := time.Duration(0)
+		for {
+			gap := 2 * arrSrc.Float64() / cfg.rateAt(t) // hours
+			t += time.Duration(gap * float64(time.Hour))
+			if t >= cfg.Horizon {
+				break
+			}
+			set.VMs = append(set.VMs, newVM(t))
+		}
+	case IATEquidistant:
+		// Gap = exactly 1/rate at the gap start: CV 0.
+		t := time.Duration(0)
+		for {
+			gap := 1 / cfg.rateAt(t) // hours
+			t += time.Duration(gap * float64(time.Hour))
+			if t >= cfg.Horizon {
+				break
+			}
+			set.VMs = append(set.VMs, newVM(t))
+		}
+	default:
+		return nil, fmt.Errorf("load: unknown IAT distribution %d", int(cfg.IAT))
+	}
+	return set, nil
+}

@@ -1,0 +1,288 @@
+package load
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func stressConfig() Config {
+	return Config{
+		Mode:           ModeStress,
+		IAT:            IATExponential,
+		Horizon:        10 * time.Hour,
+		RatePerHour:    1000,
+		Shape:          DefaultVMShape(),
+		RefCapacityMHz: 2400,
+		Seed:           7,
+	}
+}
+
+// gaps extracts the inter-arrival gaps (in hours) from a built workload's
+// arrival stream (Start > 0 VMs, which Build appends in time order).
+func gaps(t *testing.T, set *trace.Set) []float64 {
+	t.Helper()
+	var starts []time.Duration
+	for _, vm := range set.VMs {
+		if vm.Start > 0 {
+			starts = append(starts, vm.Start)
+		}
+	}
+	if len(starts) < 2 {
+		t.Fatalf("only %d arrivals", len(starts))
+	}
+	out := make([]float64, 0, len(starts))
+	prev := time.Duration(0)
+	for _, s := range starts {
+		if s < prev {
+			t.Fatalf("arrival at %v after %v: stream out of order", s, prev)
+		}
+		out = append(out, (s - prev).Hours())
+		prev = s
+	}
+	return out
+}
+
+func meanCV(xs []float64) (mean, cv float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	varsum := 0.0
+	for _, x := range xs {
+		varsum += (x - mean) * (x - mean)
+	}
+	sd := math.Sqrt(varsum / float64(len(xs)))
+	return mean, sd / mean
+}
+
+// TestIATMeanCV is the per-distribution property test: all three IAT
+// distributions share the mean gap 1/rate, and their coefficients of
+// variation are 1 (exponential), 1/sqrt(3) (uniform) and 0 (equidistant).
+func TestIATMeanCV(t *testing.T) {
+	cases := []struct {
+		iat    IAT
+		wantCV float64
+	}{
+		{IATExponential, 1},
+		{IATUniform, 1 / math.Sqrt(3)},
+		{IATEquidistant, 0},
+	}
+	for _, tc := range cases {
+		cfg := stressConfig()
+		cfg.IAT = tc.iat
+		set, err := Build(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.iat, err)
+		}
+		g := gaps(t, set)
+		mean, cv := meanCV(g)
+		wantMean := 1 / cfg.RatePerHour
+		if math.Abs(mean-wantMean)/wantMean > 0.05 {
+			t.Errorf("%v: mean gap %.6f h, want %.6f h", tc.iat, mean, wantMean)
+		}
+		if math.Abs(cv-tc.wantCV) > 0.05 {
+			t.Errorf("%v: CV %.4f, want %.4f", tc.iat, cv, tc.wantCV)
+		}
+	}
+}
+
+// analyticArrivals integrates base*(1 + A*cos(2*pi*(h-peak)/24)) over
+// [a, b] hours: the expected arrival count of the modulated process.
+func analyticArrivals(base, amp, peak, a, b float64) float64 {
+	primitive := func(h float64) float64 {
+		return h + amp*(24/(2*math.Pi))*math.Sin(2*math.Pi*(h-peak)/24)
+	}
+	return base * (primitive(b) - primitive(a))
+}
+
+// TestThinningMatchesRateIntegral checks the non-homogeneous Poisson
+// thinning against the analytic rate integral, both over the full day
+// (where the cosine integrates away) and over the peak quarter (where it
+// does not): the empirical counts must sit within a few sigma of the
+// integrals.
+func TestThinningMatchesRateIntegral(t *testing.T) {
+	cfg := stressConfig()
+	cfg.Mode = ModeTrace
+	cfg.IAT = IATExponential
+	cfg.Horizon = 24 * time.Hour
+	cfg.RatePerHour = 2000
+	cfg.DailyAmplitude = 0.45
+	cfg.PeakHour = 14
+	set, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(a, b float64) float64 {
+		n := 0
+		for _, vm := range set.VMs {
+			if h := vm.Start.Hours(); vm.Start > 0 && h >= a && h < b {
+				n++
+			}
+		}
+		return float64(n)
+	}
+	check := func(name string, a, b float64) {
+		want := analyticArrivals(cfg.RatePerHour, cfg.DailyAmplitude, cfg.PeakHour, a, b)
+		got := count(a, b)
+		// Poisson sd = sqrt(want); allow 4 sigma.
+		if tol := 4 * math.Sqrt(want); math.Abs(got-want) > tol {
+			t.Errorf("%s [%gh,%gh): %0.f arrivals, want %.0f +/- %.0f", name, a, b, got, want, tol)
+		}
+	}
+	check("full day", 0, 24)
+	check("peak quarter", 11, 17)
+	check("trough quarter", 23, 24)
+	check("morning ramp", 5, 11)
+}
+
+// TestBuildMatchesGenerateChurn pins the compatibility anchor: ModeTrace
+// with IATExponential consumes the exact same labeled streams in the exact
+// same order as trace.GenerateChurn, so the built workload is identical
+// VM for VM. The load harness is a superset of the churn generator, not a
+// divergent reimplementation.
+func TestBuildMatchesGenerateChurn(t *testing.T) {
+	ccfg := trace.DefaultChurnConfig()
+	ccfg.Horizon = 6 * time.Hour
+	ccfg.InitialVMs = 200
+	ccfg.ArrivalPerHour = 500
+	want, err := trace.GenerateChurn(ccfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Build(Config{
+		Mode:           ModeTrace,
+		IAT:            IATExponential,
+		Horizon:        ccfg.Horizon,
+		RatePerHour:    ccfg.ArrivalPerHour,
+		InitialVMs:     ccfg.InitialVMs,
+		DailyAmplitude: ccfg.DailyAmplitude,
+		PeakHour:       ccfg.PeakHour,
+		Shape: VMShape{
+			MeanLifetime:    ccfg.MeanLifetime,
+			DemandMedianMHz: ccfg.DemandMedianMHz,
+			DemandSigma:     ccfg.DemandSigma,
+			MaxDemandMHz:    ccfg.MaxDemandMHz,
+		},
+		RefCapacityMHz: ccfg.RefCapacityMHz,
+		Seed:           99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.VMs) != len(want.VMs) {
+		t.Fatalf("built %d VMs, GenerateChurn built %d", len(got.VMs), len(want.VMs))
+	}
+	for i := range want.VMs {
+		a, b := want.VMs[i], got.VMs[i]
+		if a.ID != b.ID || a.Start != b.Start || a.End != b.End || a.Demand[0] != b.Demand[0] {
+			t.Fatalf("VM %d differs: churn {%v %v %v} vs load {%v %v %v}",
+				i, a.Start, a.End, a.Demand[0], b.Start, b.End, b.Demand[0])
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	for _, iat := range []IAT{IATExponential, IATUniform, IATEquidistant} {
+		cfg := stressConfig()
+		cfg.IAT = iat
+		a, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.VMs) != len(b.VMs) {
+			t.Fatalf("%v: %d vs %d VMs across identical configs", iat, len(a.VMs), len(b.VMs))
+		}
+		for i := range a.VMs {
+			if a.VMs[i].Start != b.VMs[i].Start || a.VMs[i].End != b.VMs[i].End || a.VMs[i].Demand[0] != b.VMs[i].Demand[0] {
+				t.Fatalf("%v: VM %d differs across identical configs", iat, i)
+			}
+		}
+	}
+}
+
+// TestBurstShape checks the burst mode's rate geometry with the
+// deterministic stream: during a burst window the equidistant gaps shrink
+// by exactly BurstFactor, so the in-burst arrival count is BurstFactor
+// times the off-burst count.
+func TestBurstShape(t *testing.T) {
+	cfg := stressConfig()
+	cfg.Mode = ModeBurst
+	cfg.IAT = IATEquidistant
+	cfg.RatePerHour = 600
+	cfg.Horizon = 8 * time.Hour
+	cfg.BurstFactor = 3
+	cfg.BurstEvery = 2 * time.Hour
+	cfg.BurstLen = time.Hour
+	set, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out := 0, 0
+	for _, vm := range set.VMs {
+		if vm.Start <= 0 {
+			continue
+		}
+		if vm.Start%cfg.BurstEvery < cfg.BurstLen {
+			in++
+		} else {
+			out++
+		}
+	}
+	ratio := float64(in) / float64(out)
+	if math.Abs(ratio-cfg.BurstFactor) > 0.1 {
+		t.Fatalf("in-burst/off-burst arrivals = %d/%d = %.2f, want ~%.0f", in, out, ratio, cfg.BurstFactor)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.RatePerHour = 0 },
+		func(c *Config) { c.InitialVMs = -1 },
+		func(c *Config) { c.Shape.MeanLifetime = 0 },
+		func(c *Config) { c.Mode = ModeColdstart; c.InitialVMs = 10 },
+		func(c *Config) { c.Mode = ModeBurst; c.BurstFactor = 0.5 },
+		func(c *Config) { c.Mode = ModeBurst; c.BurstFactor = 2; c.BurstEvery = 0 },
+		func(c *Config) { c.Mode = ModeTrace; c.DailyAmplitude = 1.5 },
+		func(c *Config) { c.Mode = Mode(42) },
+	}
+	for i, mutate := range bad {
+		cfg := stressConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted an invalid config", i)
+		}
+	}
+	good := stressConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, m := range []Mode{ModeTrace, ModeStress, ModeBurst, ModeColdstart} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	for _, d := range []IAT{IATExponential, IATUniform, IATEquidistant} {
+		got, err := ParseIAT(d.String())
+		if err != nil || got != d {
+			t.Fatalf("ParseIAT(%q) = %v, %v", d.String(), got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Fatal("ParseMode accepted bogus")
+	}
+	if _, err := ParseIAT("bogus"); err == nil {
+		t.Fatal("ParseIAT accepted bogus")
+	}
+}

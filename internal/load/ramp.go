@@ -1,0 +1,235 @@
+package load
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dc"
+	"repro/internal/rng"
+)
+
+// SlotMetrics is what one ramp slot measures, after its warm-up window.
+type SlotMetrics struct {
+	// ViolationFrac is the fraction of VM-time spent on overloaded servers
+	// (cluster.Result.VMOverloadTimeFrac over the measured window).
+	ViolationFrac float64
+	// RejectFrac is the fraction of placement requests the policy could only
+	// satisfy by overcommitting (saturations / placements): the policy still
+	// places every VM, so this is degraded service, not lost arrivals.
+	RejectFrac float64
+
+	MeanActiveServers float64
+	EnergyKWh         float64
+	// Arrivals counts the VMs that arrived during the slot (the preloaded
+	// initial population excluded).
+	Arrivals int
+}
+
+// SlotSpec is the work order Ramp hands the runner for one slot: an
+// independent simulation at one rung of the rate ladder.
+type SlotSpec struct {
+	Index       int
+	RatePerHour float64
+	// Seed is the slot's private seed, split deterministically from the
+	// ramp seed, so slots are independent but the whole ramp is a pure
+	// function of RampConfig.
+	Seed    uint64
+	Horizon time.Duration
+	// MeasureFrom is the warm-up boundary: metrics aggregate over
+	// [MeasureFrom, Horizon) only.
+	MeasureFrom time.Duration
+}
+
+// SlotRunner executes one slot and reports its metrics. The ramp engine is
+// agnostic to what "running" means — the cluster-backed runner from
+// NewClusterRunner is the production one; tests script their own.
+type SlotRunner func(SlotSpec) (SlotMetrics, error)
+
+// RampConfig describes a stepped rate ramp with an overload stop-rule.
+type RampConfig struct {
+	// StartPerHour is the first slot's arrival rate; each subsequent slot
+	// adds StepPerHour. MaxSlots bounds the ladder.
+	StartPerHour float64
+	StepPerHour  float64
+	Slot         time.Duration
+	MaxSlots     int
+
+	// WarmupFrac is the fraction of each slot excluded from measurement, so
+	// a slot's verdict reflects its steady state, not the fill-up transient.
+	WarmupFrac float64
+
+	// Threshold and Tolerance form the stop-rule: a slot breaches when its
+	// ViolationFrac or RejectFrac exceeds Threshold; the ramp halts once
+	// more than Tolerance slots have breached. Tolerance absorbs isolated
+	// flukes — with persistent overload the ramp halts exactly Tolerance
+	// slots after the first breach.
+	Threshold float64
+	Tolerance int
+
+	Seed uint64
+}
+
+// Validate reports whether the ramp configuration is usable.
+func (c RampConfig) Validate() error {
+	switch {
+	case c.StartPerHour <= 0:
+		return fmt.Errorf("load: ramp StartPerHour = %v", c.StartPerHour)
+	case c.StepPerHour < 0:
+		return fmt.Errorf("load: ramp StepPerHour = %v", c.StepPerHour)
+	case c.Slot <= 0:
+		return fmt.Errorf("load: ramp Slot = %v", c.Slot)
+	case c.MaxSlots <= 0:
+		return fmt.Errorf("load: ramp MaxSlots = %d", c.MaxSlots)
+	case c.WarmupFrac < 0 || c.WarmupFrac >= 1:
+		return fmt.Errorf("load: ramp WarmupFrac = %v (want [0,1))", c.WarmupFrac)
+	case c.Threshold <= 0 || c.Threshold >= 1:
+		return fmt.Errorf("load: ramp Threshold = %v (want (0,1))", c.Threshold)
+	case c.Tolerance < 0:
+		return fmt.Errorf("load: ramp Tolerance = %d", c.Tolerance)
+	}
+	return nil
+}
+
+// Slot is one executed rung of the ladder.
+type Slot struct {
+	Index       int
+	RatePerHour float64
+	Metrics     SlotMetrics
+	Breach      bool
+}
+
+// RampResult is the ramp's verdict.
+type RampResult struct {
+	Slots []Slot
+	// KneePerHour is the highest rate that ran without breaching — the
+	// maximum sustainable churn rate the ramp found. Zero when even the
+	// first slot breached.
+	KneePerHour float64
+	// Halted reports that the stop-rule fired (false: MaxSlots exhausted
+	// without accumulating enough breaches, so the knee is a lower bound).
+	Halted bool
+}
+
+// Ramp steps the rate ladder through the runner slot by slot, applying the
+// stop-rule after each. Slots run sequentially — each verdict decides
+// whether the next slot runs at all, which is the point of a stop-rule.
+func Ramp(cfg RampConfig, run SlotRunner) (*RampResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if run == nil {
+		return nil, fmt.Errorf("load: Ramp needs a SlotRunner")
+	}
+	// Slot seeds come from an indexed split so inserting or removing rungs
+	// never shifts another slot's stream.
+	seeds := rng.New(cfg.Seed)
+	res := &RampResult{}
+	breaches := 0
+	for k := 0; k < cfg.MaxSlots; k++ {
+		rate := cfg.StartPerHour + float64(k)*cfg.StepPerHour
+		spec := SlotSpec{
+			Index:       k,
+			RatePerHour: rate,
+			Seed:        seeds.SplitIndex("slot", k).Uint64(),
+			Horizon:     cfg.Slot,
+			MeasureFrom: time.Duration(cfg.WarmupFrac * float64(cfg.Slot)),
+		}
+		m, err := run(spec)
+		if err != nil {
+			return nil, fmt.Errorf("load: ramp slot %d (rate %.1f/h): %w", k, rate, err)
+		}
+		breach := m.ViolationFrac > cfg.Threshold || m.RejectFrac > cfg.Threshold
+		res.Slots = append(res.Slots, Slot{Index: k, RatePerHour: rate, Metrics: m, Breach: breach})
+		if breach {
+			breaches++
+			if breaches > cfg.Tolerance {
+				res.Halted = true
+				break
+			}
+		} else {
+			res.KneePerHour = rate
+		}
+	}
+	return res, nil
+}
+
+// ClusterRunnerConfig wires a SlotRunner to the real simulator: each slot
+// builds a fresh workload at its rate, a fresh policy, a fresh fleet, and
+// runs them through cluster.Run with the slot's warm-up excluded from the
+// aggregates.
+type ClusterRunnerConfig struct {
+	Specs []dc.Spec
+	// NewPolicy builds the slot's policy from the slot seed — a fresh one
+	// per slot, so no state leaks across rungs.
+	NewPolicy func(seed uint64) (cluster.Policy, error)
+
+	// Load is the workload template; Horizon, RatePerHour, Seed and (with
+	// AutoPopulate) InitialVMs are overridden per slot.
+	Load Config
+	// AutoPopulate preloads each slot with its own steady-state population,
+	// rate·E[lifetime] VMs, so the warm-up only has to absorb the residual
+	// transient rather than a full fleet fill-up. Ignored for coldstart.
+	AutoPopulate bool
+
+	ControlInterval time.Duration
+	SampleInterval  time.Duration
+	PowerModel      dc.PowerModel
+	// Workers is the cluster control-round worker count; like everywhere
+	// else it is bit-identity-neutral, so slot metrics (and the knee) are
+	// identical at any value.
+	Workers int
+}
+
+// NewClusterRunner returns the cluster.Run-backed SlotRunner.
+func NewClusterRunner(cfg ClusterRunnerConfig) SlotRunner {
+	return func(spec SlotSpec) (SlotMetrics, error) {
+		lc := cfg.Load
+		lc.Horizon = spec.Horizon
+		lc.RatePerHour = spec.RatePerHour
+		lc.Seed = spec.Seed
+		if cfg.AutoPopulate && lc.Mode != ModeColdstart {
+			lc.InitialVMs = int(spec.RatePerHour * lc.Shape.MeanLifetime.Hours())
+		}
+		ws, err := Build(lc)
+		if err != nil {
+			return SlotMetrics{}, err
+		}
+		pol, err := cfg.NewPolicy(spec.Seed)
+		if err != nil {
+			return SlotMetrics{}, err
+		}
+		res, err := cluster.Run(cluster.RunConfig{
+			Specs:           cfg.Specs,
+			Workload:        ws,
+			Horizon:         spec.Horizon,
+			ControlInterval: cfg.ControlInterval,
+			SampleInterval:  cfg.SampleInterval,
+			MeasureFrom:     spec.MeasureFrom,
+			PowerModel:      cfg.PowerModel,
+			Workers:         cfg.Workers,
+		}, pol)
+		if err != nil {
+			return SlotMetrics{}, err
+		}
+		arrivals := 0
+		for _, vm := range ws.VMs {
+			if vm.Start > 0 {
+				arrivals++
+			}
+		}
+		// Every VM — preloaded or arriving — passes through the policy's
+		// assignment procedure, so saturations are normalized by all of them.
+		reject := 0.0
+		if len(ws.VMs) > 0 {
+			reject = float64(res.Saturations) / float64(len(ws.VMs))
+		}
+		return SlotMetrics{
+			ViolationFrac:     res.VMOverloadTimeFrac,
+			RejectFrac:        reject,
+			MeanActiveServers: res.MeanActiveServers,
+			EnergyKWh:         res.EnergyKWh,
+			Arrivals:          arrivals,
+		}, nil
+	}
+}

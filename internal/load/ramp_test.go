@@ -1,0 +1,235 @@
+package load
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dc"
+	"repro/internal/ecocloud"
+)
+
+func rampConfig() RampConfig {
+	return RampConfig{
+		StartPerHour: 100,
+		StepPerHour:  50,
+		Slot:         2 * time.Hour,
+		MaxSlots:     20,
+		WarmupFrac:   0.5,
+		Threshold:    0.05,
+		Tolerance:    2,
+		Seed:         5,
+	}
+}
+
+// scriptedRunner breaches every slot whose rate reaches breakAt.
+func scriptedRunner(breakAt float64, threshold float64) SlotRunner {
+	return func(spec SlotSpec) (SlotMetrics, error) {
+		m := SlotMetrics{ViolationFrac: threshold / 10}
+		if spec.RatePerHour >= breakAt {
+			m.ViolationFrac = 2 * threshold
+		}
+		return m, nil
+	}
+}
+
+// TestRampStopRuleWithinTolerance pins the acceptance criterion: with
+// persistent overload the ramp halts exactly Tolerance slots after the
+// first threshold crossing — the stop-rule fires within one tolerance
+// window, never later.
+func TestRampStopRuleWithinTolerance(t *testing.T) {
+	cfg := rampConfig()
+	// Rates: 100, 150, ..., first breach at 300 (slot index 4).
+	res, err := Ramp(cfg, scriptedRunner(300, cfg.Threshold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBreach := 4
+	wantSlots := firstBreach + cfg.Tolerance + 1
+	if len(res.Slots) != wantSlots {
+		t.Fatalf("ramp ran %d slots, want halt at slot %d (first breach %d + tolerance %d)",
+			len(res.Slots), wantSlots, firstBreach, cfg.Tolerance)
+	}
+	if !res.Halted {
+		t.Fatal("stop-rule did not report a halt")
+	}
+	if res.KneePerHour != 250 {
+		t.Fatalf("knee = %v/h, want 250/h (the last clean rung)", res.KneePerHour)
+	}
+	for _, s := range res.Slots {
+		if want := s.RatePerHour >= 300; s.Breach != want {
+			t.Fatalf("slot %d (rate %v) breach = %v, want %v", s.Index, s.RatePerHour, s.Breach, want)
+		}
+	}
+}
+
+// TestRampToleranceAbsorbsFluke: an isolated breach below the tolerance
+// budget must not halt the ramp or poison the knee.
+func TestRampToleranceAbsorbsFluke(t *testing.T) {
+	cfg := rampConfig()
+	cfg.MaxSlots = 6
+	fluke := func(spec SlotSpec) (SlotMetrics, error) {
+		m := SlotMetrics{}
+		if spec.Index == 1 {
+			m.ViolationFrac = 1 // isolated fluke
+		}
+		return m, nil
+	}
+	res, err := Ramp(cfg, fluke)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Halted {
+		t.Fatal("a single fluke inside the tolerance budget halted the ramp")
+	}
+	if len(res.Slots) != cfg.MaxSlots {
+		t.Fatalf("ramp ran %d slots, want all %d", len(res.Slots), cfg.MaxSlots)
+	}
+	// Knee is the highest clean rung: slot 5 at 100 + 5*50.
+	if res.KneePerHour != 350 {
+		t.Fatalf("knee = %v/h, want 350/h", res.KneePerHour)
+	}
+}
+
+// TestRampFirstSlotBreach: when even the lowest rung breaches, the knee is
+// zero (nothing sustainable was demonstrated) and the halt is immediate
+// once the tolerance budget is spent.
+func TestRampFirstSlotBreach(t *testing.T) {
+	cfg := rampConfig()
+	cfg.Tolerance = 0
+	res, err := Ramp(cfg, scriptedRunner(0, cfg.Threshold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Slots) != 1 || !res.Halted {
+		t.Fatalf("ran %d slots (halted %v), want an immediate halt", len(res.Slots), res.Halted)
+	}
+	if res.KneePerHour != 0 {
+		t.Fatalf("knee = %v/h, want 0 (no sustainable rate found)", res.KneePerHour)
+	}
+}
+
+// TestRampSlotSeeds: slot seeds are deterministic across runs and distinct
+// across slots (each rung is an independent replication).
+func TestRampSlotSeeds(t *testing.T) {
+	collect := func() []uint64 {
+		var seeds []uint64
+		runner := func(spec SlotSpec) (SlotMetrics, error) {
+			seeds = append(seeds, spec.Seed)
+			return SlotMetrics{}, nil
+		}
+		cfg := rampConfig()
+		cfg.MaxSlots = 5
+		if _, err := Ramp(cfg, runner); err != nil {
+			t.Fatal(err)
+		}
+		return seeds
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slot %d seed differs across identical ramps: %d vs %d", i, a[i], b[i])
+		}
+		for j := 0; j < i; j++ {
+			if a[i] == a[j] {
+				t.Fatalf("slots %d and %d share seed %d", i, j, a[i])
+			}
+		}
+	}
+}
+
+// TestRampSpecGeometry: the runner sees the configured slot horizon and the
+// warm-up boundary at WarmupFrac of it.
+func TestRampSpecGeometry(t *testing.T) {
+	cfg := rampConfig()
+	cfg.MaxSlots = 1
+	var got SlotSpec
+	runner := func(spec SlotSpec) (SlotMetrics, error) {
+		got = spec
+		return SlotMetrics{}, nil
+	}
+	if _, err := Ramp(cfg, runner); err != nil {
+		t.Fatal(err)
+	}
+	if got.Horizon != cfg.Slot {
+		t.Fatalf("slot horizon %v, want %v", got.Horizon, cfg.Slot)
+	}
+	if want := time.Duration(cfg.WarmupFrac * float64(cfg.Slot)); got.MeasureFrom != want {
+		t.Fatalf("measure-from %v, want %v", got.MeasureFrom, want)
+	}
+	if got.RatePerHour != cfg.StartPerHour {
+		t.Fatalf("first slot rate %v, want %v", got.RatePerHour, cfg.StartPerHour)
+	}
+}
+
+// clusterRunnerConfig is a small real-simulator setup shared by the
+// integration tests below.
+func clusterRunnerConfig(workers int) ClusterRunnerConfig {
+	return ClusterRunnerConfig{
+		Specs: dc.UniformFleet(12, 6, 2000),
+		NewPolicy: func(seed uint64) (cluster.Policy, error) {
+			return ecocloud.New(ecocloud.DefaultConfig(), seed)
+		},
+		Load: Config{
+			Mode:           ModeStress,
+			IAT:            IATExponential,
+			Shape:          DefaultVMShape(),
+			RefCapacityMHz: 2400,
+		},
+		AutoPopulate:    true,
+		ControlInterval: 5 * time.Minute,
+		SampleInterval:  30 * time.Minute,
+		PowerModel:      dc.DefaultPowerModel(),
+		Workers:         workers,
+	}
+}
+
+// TestClusterRunnerDeterministic: the real slot runner is a pure function
+// of the spec — same spec, same metrics — and worker counts never change
+// its numbers (the cluster engine's bit-identity contract surfaces here as
+// an identical knee).
+func TestClusterRunnerDeterministic(t *testing.T) {
+	spec := SlotSpec{
+		Index:       0,
+		RatePerHour: 120,
+		Seed:        777,
+		Horizon:     2 * time.Hour,
+		MeasureFrom: time.Hour,
+	}
+	base, err := NewClusterRunner(clusterRunnerConfig(0))(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 8} {
+		m, err := NewClusterRunner(clusterRunnerConfig(workers))(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != base {
+			t.Fatalf("workers=%d metrics %+v differ from sequential %+v", workers, m, base)
+		}
+	}
+}
+
+// TestClusterRunnerWarmupGate: shrinking the measured window must not
+// change the simulation itself, only the accounting — energy (whole-run)
+// stays identical while the aggregates cover different windows.
+func TestClusterRunnerWarmupGate(t *testing.T) {
+	run := NewClusterRunner(clusterRunnerConfig(0))
+	spec := SlotSpec{RatePerHour: 120, Seed: 777, Horizon: 2 * time.Hour}
+	whole, err := run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.MeasureFrom = time.Hour
+	gated, err := run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.EnergyKWh != gated.EnergyKWh {
+		t.Fatalf("warm-up gate changed the energy integral: %v vs %v", whole.EnergyKWh, gated.EnergyKWh)
+	}
+	if whole.Arrivals != gated.Arrivals {
+		t.Fatalf("warm-up gate changed the workload: %d vs %d arrivals", whole.Arrivals, gated.Arrivals)
+	}
+}

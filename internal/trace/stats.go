@@ -36,30 +36,37 @@ func (s *Set) DeviationHistogram(bins int) *metrics.Histogram {
 // per-VM departure rate mu(t) (1/hour) on a fixed-width grid over [0,
 // horizon], by counting VM starts and ends per bucket. This is how the paper
 // extracts "the values of lambda(t) and mu(t) from the traces" to feed the
-// fluid model (§IV). The returned slices have one entry per bucket; mu is the
-// departure count divided by the average alive population in the bucket.
+// fluid model (§IV). The returned slices have one entry per bucket; when the
+// horizon is not a multiple of the bucket the final bucket is partial and its
+// counts are scaled by its true width (folding it into a full-width bucket
+// used to overstate the trailing lambda and mu). mu is the departure count
+// divided by the alive population at the bucket start.
 func (s *Set) Rates(horizon, bucket time.Duration) (lambda, mu []float64) {
 	if bucket <= 0 || horizon <= 0 {
 		panic("trace: Rates needs positive horizon and bucket")
 	}
-	n := int(horizon / bucket)
-	if n == 0 {
-		n = 1
-	}
+	n := int((horizon + bucket - 1) / bucket)
 	starts := make([]float64, n)
 	ends := make([]float64, n)
 	for _, vm := range s.VMs {
-		if vm.Start >= 0 && vm.Start < horizon && vm.Start > 0 {
+		// Start == 0 VMs are the pre-loaded initial population, deliberately
+		// not counted as arrivals (they are the initial condition the fluid
+		// model starts from, not part of lambda).
+		if vm.Start > 0 && vm.Start < horizon {
 			starts[bucketIndex(vm.Start, bucket, n)]++
 		}
 		if vm.End < horizon {
 			ends[bucketIndex(vm.End, bucket, n)]++
 		}
 	}
-	perHour := float64(time.Hour) / float64(bucket)
 	lambda = make([]float64, n)
 	mu = make([]float64, n)
 	for b := 0; b < n; b++ {
+		width := bucket
+		if rem := horizon - time.Duration(b)*bucket; rem < width {
+			width = rem
+		}
+		perHour := float64(time.Hour) / float64(width)
 		// Population measured at the bucket start: departures within the
 		// bucket are still alive there, so mu stays finite and unbiased.
 		alive := float64(s.AliveAt(time.Duration(b) * bucket))

@@ -381,6 +381,13 @@ func dailyFactor(t time.Duration, amplitude, peakHour float64) float64 {
 	return 1 + amplitude*math.Cos(phase)
 }
 
+// DailyFactor exposes the daily modulation shape (1 + A·cos(2π(h-peak)/24))
+// shared by the trace generators and the load harness, so "daily-modulated"
+// means the same curve everywhere a rate or demand is modulated.
+func DailyFactor(t time.Duration, amplitude, peakHour float64) float64 {
+	return dailyFactor(t, amplitude, peakHour)
+}
+
 // Generate synthesizes a trace set. Each VM's samples depend only on (seed,
 // VM index), so the set is reproducible and VM synthesis parallelizes
 // trivially — but NumVMs*samples is cheap enough to stay sequential here.
@@ -548,11 +555,21 @@ func GenerateChurn(cfg ChurnConfig, seed uint64) (*Set, error) {
 			d = cfg.MaxDemandMHz
 		}
 		life := time.Duration(lifeSrc.ExpFloat64() * float64(cfg.MeanLifetime))
-		end := start + life
-		if end > cfg.Horizon {
-			end = cfg.Horizon
+		if life <= 0 {
+			// An exponential draw small enough to truncate to zero duration
+			// would produce a Start == End VM that is never alive (lifetimes
+			// are half-open). Floor to the smallest representable lifetime so
+			// every generated VM exists for at least one instant.
+			life = 1
 		}
-		vm := &VM{ID: id, Start: start, End: end, Epoch: cfg.Horizon, Demand: []float64{d}}
+		// VMs whose life extends past the horizon keep their natural End and
+		// simply outlive the run: the cluster driver never schedules
+		// departures at or after the horizon. Clamping End to exactly Horizon
+		// zeroed every such VM's demand at the final control tick (Alive is
+		// half-open), which made all servers dip under Tl at t == Horizon at
+		// once and run doomed all-pairs invitation rounds — the same
+		// pathology parScaleWorkload had to fix by outliving the horizon.
+		vm := &VM{ID: id, Start: start, End: start + life, Epoch: cfg.Horizon, Demand: []float64{d}}
 		id++
 		return vm
 	}

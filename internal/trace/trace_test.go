@@ -356,11 +356,8 @@ func TestGenerateChurnBasics(t *testing.T) {
 		if vm.Start == 0 {
 			initial++
 		}
-		if vm.End > cfg.Horizon {
-			t.Fatalf("VM %d ends at %v past horizon", vm.ID, vm.End)
-		}
-		if vm.End < vm.Start {
-			t.Fatalf("VM %d ends before it starts", vm.ID)
+		if vm.End <= vm.Start {
+			t.Fatalf("VM %d (start %v, end %v) is never alive", vm.ID, vm.Start, vm.End)
 		}
 		if len(vm.Demand) != 1 {
 			t.Fatalf("churn VM %d has %d samples, want 1 (constant demand)", vm.ID, len(vm.Demand))
@@ -371,6 +368,64 @@ func TestGenerateChurnBasics(t *testing.T) {
 	}
 	if initial != cfg.InitialVMs {
 		t.Fatalf("initial VMs = %d, want %d", initial, cfg.InitialVMs)
+	}
+}
+
+// TestGenerateChurnFinalTickDemand is the horizon-clamp regression test:
+// clamping VM.End to exactly cfg.Horizon made every long-lived VM dead at the
+// t == Horizon control tick (lifetimes are half-open), so the final tick saw
+// zero demand and every server ran a doomed migrateLow invitation round. VMs
+// must outlive the horizon instead, keeping demand nonzero at the last tick.
+func TestGenerateChurnFinalTickDemand(t *testing.T) {
+	cfg := DefaultChurnConfig()
+	cfg.Horizon = 6 * time.Hour
+	cfg.InitialVMs = 300
+	cfg.ArrivalPerHour = 100
+	set, err := GenerateChurn(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alive := set.AliveAt(cfg.Horizon); alive == 0 {
+		t.Fatalf("no VM is alive at the horizon: every End was clamped to %v", cfg.Horizon)
+	}
+	if d := set.TotalDemandAt(cfg.Horizon); d <= 0 {
+		t.Fatalf("total demand at the final tick = %v, want > 0", d)
+	}
+	outliving := 0
+	for _, vm := range set.VMs {
+		if vm.End > cfg.Horizon {
+			outliving++
+		}
+	}
+	// With a 90-minute mean lifetime and continuous arrivals, a large share
+	// of the population is mid-life at the horizon.
+	if outliving < len(set.VMs)/20 {
+		t.Fatalf("only %d of %d VMs outlive the horizon", outliving, len(set.VMs))
+	}
+}
+
+// TestGenerateChurnZeroLifetime pins the zero-lifetime choice: an exponential
+// draw that truncates to zero duration is floored to the smallest
+// representable lifetime, so no generated VM has Start == End (a VM that
+// would never be alive and whose departure would fire at its arrival time).
+func TestGenerateChurnZeroLifetime(t *testing.T) {
+	cfg := DefaultChurnConfig()
+	cfg.Horizon = time.Hour
+	cfg.InitialVMs = 500
+	cfg.ArrivalPerHour = 1000
+	// A 1ns mean lifetime truncates ~63% of draws to zero without the floor.
+	cfg.MeanLifetime = time.Nanosecond
+	set, err := GenerateChurn(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range set.VMs {
+		if vm.End <= vm.Start {
+			t.Fatalf("VM %d has start %v, end %v: never alive", vm.ID, vm.Start, vm.End)
+		}
+		if !vm.Alive(vm.Start) {
+			t.Fatalf("VM %d is not alive at its own start", vm.ID)
+		}
 	}
 }
 
@@ -426,6 +481,33 @@ func TestRates(t *testing.T) {
 	// Bucket 0: 2 departures, 2 alive at midpoint -> mu = 1/h.
 	if mu[0] != 1 {
 		t.Fatalf("mu[0] = %v, want 1", mu[0])
+	}
+}
+
+func TestRatesPartialTrailingBucket(t *testing.T) {
+	// Horizon 90m with 1h buckets: the final bucket covers only [60m, 90m).
+	// One arrival and one departure land there; both must be scaled by the
+	// true 30m width (2/h per event), not the full-bucket 1/h that the old
+	// int(horizon/bucket) fold produced.
+	set := &Set{
+		RefCapacityMHz: 8000,
+		VMs: []*VM{
+			{ID: 0, Start: 0, End: 75 * time.Minute, Epoch: time.Hour, Demand: []float64{100}},
+			{ID: 1, Start: 0, End: 3 * time.Hour, Epoch: time.Hour, Demand: []float64{100}},
+			{ID: 2, Start: 70 * time.Minute, End: 3 * time.Hour, Epoch: time.Hour, Demand: []float64{100}},
+		},
+	}
+	lambda, mu := set.Rates(90*time.Minute, time.Hour)
+	if len(lambda) != 2 || len(mu) != 2 {
+		t.Fatalf("rate buckets = %d/%d, want 2/2 (partial trailing bucket dropped?)", len(lambda), len(mu))
+	}
+	if lambda[0] != 0 || lambda[1] != 2 {
+		t.Fatalf("lambda = %v, want [0 2] (1 arrival over a 30m bucket)", lambda)
+	}
+	// Final bucket: 1 departure over 30m with 2 VMs alive at its start (VM 0
+	// and VM 1; VM 2 arrives mid-bucket) -> mu = 2/h / 2 = 1/h.
+	if mu[0] != 0 || mu[1] != 1 {
+		t.Fatalf("mu = %v, want [0 1]", mu)
 	}
 }
 
