@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-fixtures test bench bench-scale parscale figures faults forkedsweep knee race cover clean
+.PHONY: all build vet lint lint-fixtures test bench bench-scale parscale figures faults forkedsweep knee ecod-smoke race cover clean
 
 all: build vet lint test
 
@@ -77,6 +77,12 @@ forkedsweep:
 # "Load harness".
 knee:
 	$(GO) run ./cmd/ecobench -out out -experiments knee -scale 0.1
+
+# Real-process deployment smoke: a 3-node ecod cluster on loopback runs a
+# short protocol day twice from the same seed; the merged summaries must
+# diff clean. See DESIGN.md "Real-process deployment".
+ecod-smoke:
+	sh scripts/ecod_smoke.sh
 
 # Remove run artifacts but keep the checked-in figure CSVs and report.
 clean:

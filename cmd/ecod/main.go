@@ -1,0 +1,92 @@
+// Command ecod runs one node of the real-process ecoCloud deployment: the
+// protocol-day workload executed by separate operating-system processes
+// exchanging protocol messages over TCP (internal/node). Every process is
+// started from the same cluster config file; node 0 drives the workload and
+// merges the cluster summary, every node writes its own shard summary CSV.
+//
+//	ecod -config cluster.conf -node 0 -out out/ &
+//	ecod -config cluster.conf -node 1 -out out/ &
+//	ecod -config cluster.conf -node 2 -out out/
+//
+// There is no coordinator: nodes agree they belong to the same run iff
+// their configs hash identically and carry the same seed, checked in the
+// transport handshake. -impair injects deterministic drop/duplication on
+// the live-migration TRANSFER frames (netsim.Impairments semantics); it
+// participates in the config hash, so every node must be started with the
+// same -impair value.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/node"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "cluster config file (required; see internal/node.ParseConfig)")
+		self       = flag.Int("node", -1, "this process's node ID (required)")
+		outDir     = flag.String("out", "out", "directory for summary CSVs")
+		impair     = flag.String("impair", "", "override transfer impairments as drop[,dup] (e.g. 0.2 or 0.2,0.05)")
+		timeout    = flag.Duration("connect-timeout", 30*time.Second, "mesh formation timeout")
+	)
+	flag.Parse()
+	if *configPath == "" || *self < 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg, err := node.LoadConfig(*configPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *impair != "" {
+		// Applied before node.New hashes the config: processes started with
+		// different -impair values refuse each other in the handshake.
+		if err := applyImpair(cfg, *impair); err != nil {
+			fatal(err)
+		}
+		if err := cfg.Validate(); err != nil {
+			fatal(err)
+		}
+	}
+	n, err := node.New(cfg, *self, node.Options{ConnectTimeout: *timeout})
+	if err != nil {
+		fatal(err)
+	}
+	merged, err := n.Run(*outDir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ecod node %d done; shard summary in %s\n", *self, *outDir)
+	if merged != nil {
+		if err := merged.WriteMarkdown(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// applyImpair parses "drop" or "drop,dup" into the config.
+func applyImpair(cfg *node.ClusterConfig, spec string) error {
+	drop, dup, ok := strings.Cut(spec, ",")
+	var err error
+	if cfg.Drop, err = strconv.ParseFloat(strings.TrimSpace(drop), 64); err != nil {
+		return fmt.Errorf("ecod: -impair %q: %v", spec, err)
+	}
+	cfg.Dup = 0
+	if ok {
+		if cfg.Dup, err = strconv.ParseFloat(strings.TrimSpace(dup), 64); err != nil {
+			return fmt.Errorf("ecod: -impair %q: %v", spec, err)
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ecod:", err)
+	os.Exit(1)
+}

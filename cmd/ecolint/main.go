@@ -14,7 +14,8 @@
 // internal/lint/testdata. Exit status: 0 clean, 1 findings, 2 errors.
 //
 // Per-package rules: wallclock, globalrand, explicit-source, float-eq,
-// ordered-output, goroutine. Whole-program rules run over the call graph:
+// ordered-output, goroutine, boundary. Whole-program rules run over the call
+// graph:
 // the taint pass extends wallclock/globalrand through wrappers, method
 // values and closures; hotpath forbids allocation on chains reachable from
 // //ecolint:hotpath roots; sharedwrite checks par fan-out callbacks. A

@@ -139,7 +139,7 @@ func parseDirective(rest string, pos token.Position) (directive, string) {
 func knownRule(name string) bool {
 	switch name {
 	case RuleWallclock, RuleGlobalRand, RuleExplicitSource, RuleFloatEq,
-		RuleOrderedOutput, RuleGoroutine, RuleHotpath, RuleSharedWrite:
+		RuleOrderedOutput, RuleGoroutine, RuleBoundary, RuleHotpath, RuleSharedWrite:
 		return true
 	}
 	return false

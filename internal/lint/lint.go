@@ -39,6 +39,7 @@ const (
 	RuleFloatEq        = "float-eq"        // == / != between floating-point operands
 	RuleOrderedOutput  = "ordered-output"  // output written while ranging over a map
 	RuleGoroutine      = "goroutine"       // go statements / sync imports outside internal/par
+	RuleBoundary       = "boundary"        // sim-critical import of a quarantined package (e.g. the TCP transport)
 	RuleHotpath        = "hotpath"         // allocation constructs reachable from an //ecolint:hotpath root
 	RuleSharedWrite    = "sharedwrite"     // par callbacks writing non-span-indexed shared state
 	RuleDirective      = "directive"       // malformed //ecolint:allow annotations
@@ -74,6 +75,18 @@ type Config struct {
 	// goroutine rule: packages whose whole purpose is to own goroutines and
 	// sync primitives on behalf of everyone else (internal/par).
 	Concurrency []string
+	// Boundaries lists the import quarantines enforced by the boundary rule:
+	// sim-critical packages outside a boundary's AllowedFrom set must not
+	// import its Pkg subtree.
+	Boundaries []Boundary
+}
+
+// Boundary is one import quarantine. Pkg names the quarantined package (or
+// subtree, with a "/..." suffix); AllowedFrom lists the adapter packages
+// sanctioned to import it. The quarantined subtree itself is always exempt.
+type Boundary struct {
+	Pkg         string
+	AllowedFrom []string
 }
 
 // DefaultConfig returns the repository's scopes: everything under
@@ -84,6 +97,12 @@ func DefaultConfig() Config {
 	return Config{
 		SimCritical: []string{"repro/internal/...", "fixture/..."},
 		Concurrency: []string{"repro/internal/par", "fixture/par"},
+		Boundaries: []Boundary{
+			// The real-process TCP transport lives on host time and goroutines
+			// by design; only the node runtime that hosts it may import it.
+			{Pkg: "repro/internal/node/tcptransport", AllowedFrom: []string{"repro/internal/node"}},
+			{Pkg: "fixture/quarantine", AllowedFrom: []string{"fixture/quarantineadapter"}},
+		},
 	}
 }
 
@@ -142,6 +161,7 @@ func Analyzers() []*Analyzer {
 		analyzerFloatEq,
 		analyzerOrderedOutput,
 		analyzerGoroutine,
+		analyzerBoundary,
 	}
 }
 

@@ -117,6 +117,7 @@ func TestEachRuleFixture(t *testing.T) {
 		{"fixture/floateq", []string{RuleFloatEq}},
 		{"fixture/orderedoutput", []string{RuleOrderedOutput}},
 		{"fixture/goroutine", []string{RuleGoroutine}},
+		{"fixture/boundary", []string{RuleBoundary}},
 		{"fixture/taint", []string{RuleWallclock, RuleGlobalRand}},
 		{"fixture/hotpath", []string{RuleHotpath}},
 		{"fixture/sharedwrite", []string{RuleSharedWrite}},

@@ -1,0 +1,16 @@
+// Package boundary exercises the boundary rule: a sim-critical package —
+// standing in for internal/sim or internal/protocol — importing the
+// quarantined fixture/quarantine package without being its declared adapter.
+package boundary
+
+import (
+	"fixture/quarantine" // want boundary
+
+	// The escape hatch: a deliberate crossing carries an annotation with
+	// the reason, like any other waiver.
+	_ "fixture/quarantine" //ecolint:allow boundary — fixture for the waiver path
+)
+
+// Leak reaches the quarantined subsystem from sim-critical code; the
+// transport's waivers no longer bound anything once this compiles unflagged.
+func Leak(addr string) string { return quarantine.Dial(addr) }

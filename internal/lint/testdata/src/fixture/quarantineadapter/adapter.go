@@ -1,0 +1,10 @@
+// Package quarantineadapter is the sanctioned crossing of the quarantine
+// boundary: it appears in the boundary's AllowedFrom set, so its import of
+// fixture/quarantine is clean. It mirrors internal/node, the one package
+// allowed to host the TCP transport.
+package quarantineadapter
+
+import "fixture/quarantine"
+
+// Connect crosses the boundary legitimately.
+func Connect(addr string) string { return quarantine.Dial(addr) }

@@ -50,12 +50,24 @@ func DefaultLatency() LatencyModel {
 // latency, so it can overtake the original). The zero value is a perfect
 // fabric and draws nothing from the jitter stream, so fault-free runs are
 // bit-identical with or without the feature compiled in.
+//
+// Draw-sequence-preserving guard contract: a probability of zero must not
+// consume a draw from the deciding rng stream. Drop and Dup are the only
+// sanctioned way to apply these probabilities — they test p > 0 before
+// drawing, so enabling the struct with zero rates leaves every stream's draw
+// sequence exactly as it was without impairments. Both netsim delivery
+// (deliver below) and the real-socket impairment layer
+// (internal/node/tcptransport) go through these two methods, so the two
+// fabrics share one definition of "lossy" and one validation path.
 type Impairments struct {
 	DropProb float64
 	DupProb  float64
 }
 
-// Validate reports whether the impairment probabilities are usable.
+// Validate reports whether the impairment probabilities are usable. It is
+// the single validation point for every layer that reuses Impairments
+// (protocol configuration, the TCP codec boundary): negative rates and
+// rates >= 1 are rejected here and nowhere else.
 func (i Impairments) Validate() error {
 	switch {
 	case i.DropProb < 0 || i.DropProb >= 1:
@@ -64,6 +76,21 @@ func (i Impairments) Validate() error {
 		return fmt.Errorf("netsim: DupProb = %v", i.DupProb)
 	}
 	return nil
+}
+
+// Enabled reports whether any impairment can ever fire.
+func (i Impairments) Enabled() bool { return i.DropProb > 0 || i.DupProb > 0 }
+
+// Drop decides one delivery's drop, drawing from src only when DropProb is
+// positive (the guard contract above).
+func (i Impairments) Drop(src *rng.Source) bool {
+	return i.DropProb > 0 && src.Bernoulli(i.DropProb)
+}
+
+// Dup decides whether one surviving delivery is duplicated, drawing from src
+// only when DupProb is positive (the guard contract above).
+func (i Impairments) Dup(src *rng.Source) bool {
+	return i.DupProb > 0 && src.Bernoulli(i.DupProb)
 }
 
 // delay computes one message's delivery latency.
@@ -114,6 +141,12 @@ func New(eng *sim.Engine, lat LatencyModel, src *rng.Source) *Network {
 // capture and restore its position alongside the other simulation streams.
 func (n *Network) RNG() *rng.Source { return n.src }
 
+// Stats returns the wire transmissions and bytes delivered so far. It is the
+// method form of the Sent/Bytes counters, making Network satisfy
+// protocol.Transport so the invitation protocol can run unchanged over this
+// simulated fabric or over real sockets (internal/node/tcptransport).
+func (n *Network) Stats() (sent int, bytes int64) { return n.Sent, n.Bytes }
+
 // Register installs the handler for a node. Re-registering replaces it.
 func (n *Network) Register(id NodeID, h Handler) {
 	if h == nil {
@@ -145,16 +178,17 @@ func (n *Network) Broadcast(from NodeID, tos []NodeID, kind string, payload any,
 	}
 }
 
-// deliver applies the impairments and schedules the surviving copies. The
-// guards keep the rng stream untouched when a probability is zero, so the
-// perfect-fabric draw sequence is exactly the pre-impairment one.
+// deliver applies the impairments and schedules the surviving copies.
+// Impairments.Drop/Dup keep the rng stream untouched when a probability is
+// zero, so the perfect-fabric draw sequence is exactly the pre-impairment
+// one.
 func (n *Network) deliver(msg Message) {
-	if n.imp.DropProb > 0 && n.src.Bernoulli(n.imp.DropProb) {
+	if n.imp.Drop(n.src) {
 		n.Dropped++
 		return
 	}
 	n.schedule(msg)
-	if n.imp.DupProb > 0 && n.src.Bernoulli(n.imp.DupProb) {
+	if n.imp.Dup(n.src) {
 		n.Duplicated++
 		n.schedule(msg)
 	}

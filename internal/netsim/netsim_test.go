@@ -252,3 +252,45 @@ func TestSetImpairmentsRejectsInvalid(t *testing.T) {
 	}()
 	net.SetImpairments(Impairments{DropProb: 2})
 }
+
+func TestImpairmentMethodsPreserveDrawSequence(t *testing.T) {
+	// The guard contract Drop/Dup promise to every reusing layer: a zero
+	// probability consumes no draw, so the deciding stream's sequence is
+	// untouched by a disabled impairment.
+	a, b := rng.New(7), rng.New(7)
+	imp := Impairments{}
+	for i := 0; i < 16; i++ {
+		if imp.Drop(a) || imp.Dup(a) {
+			t.Fatal("zero-probability impairment fired")
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("draw %d diverged: the zero-rate guard consumed a draw", i)
+		}
+	}
+	// Positive probabilities do draw, exactly once per decision.
+	c, d := rng.New(7), rng.New(7)
+	lossy := Impairments{DropProb: 0.5, DupProb: 0.5}
+	lossy.Drop(c)
+	d.Float64()
+	if c.Uint64() != d.Uint64() {
+		t.Fatal("Drop with positive probability must consume exactly one draw")
+	}
+}
+
+func TestImpairmentsValidateRejectsNegative(t *testing.T) {
+	// One shared Validate rejects negative rates for every layer that embeds
+	// Impairments (netsim delivery, protocol config, the TCP codec boundary).
+	for _, imp := range []Impairments{{DropProb: -0.1}, {DupProb: -0.1}} {
+		if imp.Validate() == nil {
+			t.Fatalf("negative rates accepted: %+v", imp)
+		}
+	}
+	if (Impairments{}).Enabled() {
+		t.Fatal("zero impairments report enabled")
+	}
+	if !(Impairments{DupProb: 0.1}).Enabled() {
+		t.Fatal("positive DupProb reports disabled")
+	}
+}

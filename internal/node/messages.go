@@ -1,0 +1,518 @@
+package node
+
+import (
+	"time"
+
+	"repro/internal/node/tcptransport"
+)
+
+// The ecod wire protocol. Two disjoint kind families share the mesh:
+//
+//	driver -> agents   invite, assign, remove, scan, wake, migrate, cutover, done
+//	agent  -> agent    transfer (the live migration, source shard to dest shard)
+//	agents -> driver   reply, assigned, removed, scandone, woken, migrated, summary, utilbest
+//	driver -> agents   utilquery (saturation fallback only)
+//
+// Every request/ack pair is a barrier: the driver never advances virtual
+// time (or sends the next request) while an ack is outstanding, which is
+// what makes a run over real sockets bit-reproducible — at any instant at
+// most one exchange is in flight, so TCP delivery order cannot reorder
+// decisions. All decision-relevant time is the virtual NowNS stamped on the
+// message; nothing reads a host clock.
+//
+// Sizes: control messages reuse the protocol.Config sizes; TRANSFER
+// declares the VM's RAM bytes as its logical size (counted by Stats,
+// not shipped) exactly like the netsim experiment.
+const (
+	kindInvite    = "invite"
+	kindReply     = "reply"
+	kindAssign    = "assign"
+	kindAssigned  = "assigned"
+	kindRemove    = "remove"
+	kindRemoved   = "removed"
+	kindScan      = "scan"
+	kindScandone  = "scandone"
+	kindWake      = "wake"
+	kindWoken     = "woken"
+	kindMigrate   = "migrate"
+	kindTransfer  = "transfer"
+	kindCutover   = "cutover"
+	kindMigrated  = "migrated"
+	kindUtilQuery = "utilquery"
+	kindUtilBest  = "utilbest"
+	kindDone      = "done"
+	kindSummary   = "summary"
+)
+
+// TransferImpaired reports whether kind is subject to -impair drop/dup.
+// Only the live-migration data plane is lossy; the control barriers play
+// the sequencing role the simulation engine plays in netsim runs, so
+// impairing them would model a broken harness, not a lossy fabric.
+func TransferImpaired(kind string) bool { return kind == kindTransfer }
+
+type inviteMsg struct {
+	Round   int
+	Demand  float64
+	Ta      float64
+	Exclude int // global server ID excluded from the round, -1 for none
+	NowNS   int64
+}
+
+func (m inviteMsg) AppendWire(b []byte) []byte {
+	b = tcptransport.AppendU32(b, uint32(int32(m.Round)))
+	b = tcptransport.AppendF64(b, m.Demand)
+	b = tcptransport.AppendF64(b, m.Ta)
+	b = tcptransport.AppendU32(b, uint32(int32(m.Exclude)))
+	b = tcptransport.AppendI64(b, m.NowNS)
+	return b
+}
+
+func decodeInvite(r *tcptransport.Reader) (any, error) {
+	m := inviteMsg{
+		Round: int(int32(r.U32())), Demand: r.F64(), Ta: r.F64(),
+		Exclude: int(int32(r.U32())), NowNS: r.I64(),
+	}
+	return m, r.Err()
+}
+
+// replyMsg aggregates one node's accepting servers for a round — the shard
+// analog of netsim's per-server ACCEPT/REJECT replies.
+type replyMsg struct {
+	Round   int
+	Node    int
+	Accepts []int32 // global server IDs, ascending
+}
+
+func (m replyMsg) AppendWire(b []byte) []byte {
+	b = tcptransport.AppendU32(b, uint32(int32(m.Round)))
+	b = tcptransport.AppendU32(b, uint32(int32(m.Node)))
+	b = tcptransport.AppendU32(b, uint32(len(m.Accepts)))
+	for _, id := range m.Accepts {
+		b = tcptransport.AppendU32(b, uint32(id))
+	}
+	return b
+}
+
+func decodeReply(r *tcptransport.Reader) (any, error) {
+	m := replyMsg{Round: int(int32(r.U32())), Node: int(int32(r.U32()))}
+	n := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > r.Len()/4 {
+		n = r.Len()/4 + 1 // forces the shortfall error below instead of a huge alloc
+	}
+	m.Accepts = make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		m.Accepts = append(m.Accepts, int32(r.U32()))
+	}
+	return m, r.Err()
+}
+
+type assignMsg struct {
+	VMID   int
+	Server int // global server ID, chosen by the driver
+	Wake   bool
+	NowNS  int64
+}
+
+func (m assignMsg) AppendWire(b []byte) []byte {
+	b = tcptransport.AppendU32(b, uint32(int32(m.VMID)))
+	b = tcptransport.AppendU32(b, uint32(int32(m.Server)))
+	var w uint8
+	if m.Wake {
+		w = 1
+	}
+	b = tcptransport.AppendU8(b, w)
+	b = tcptransport.AppendI64(b, m.NowNS)
+	return b
+}
+
+func decodeAssign(r *tcptransport.Reader) (any, error) {
+	m := assignMsg{VMID: int(int32(r.U32())), Server: int(int32(r.U32()))}
+	m.Wake = r.U8() != 0
+	m.NowNS = r.I64()
+	return m, r.Err()
+}
+
+type assignedMsg struct {
+	VMID      int
+	Server    int
+	Activated bool // the assign woke the server
+}
+
+func (m assignedMsg) AppendWire(b []byte) []byte {
+	b = tcptransport.AppendU32(b, uint32(int32(m.VMID)))
+	b = tcptransport.AppendU32(b, uint32(int32(m.Server)))
+	var a uint8
+	if m.Activated {
+		a = 1
+	}
+	return tcptransport.AppendU8(b, a)
+}
+
+func decodeAssigned(r *tcptransport.Reader) (any, error) {
+	m := assignedMsg{VMID: int(int32(r.U32())), Server: int(int32(r.U32()))}
+	m.Activated = r.U8() != 0
+	return m, r.Err()
+}
+
+type removeMsg struct {
+	VMID  int
+	NowNS int64
+}
+
+func (m removeMsg) AppendWire(b []byte) []byte {
+	b = tcptransport.AppendU32(b, uint32(int32(m.VMID)))
+	return tcptransport.AppendI64(b, m.NowNS)
+}
+
+func decodeRemove(r *tcptransport.Reader) (any, error) {
+	m := removeMsg{VMID: int(int32(r.U32())), NowNS: r.I64()}
+	return m, r.Err()
+}
+
+type removedMsg struct {
+	VMID int
+}
+
+func (m removedMsg) AppendWire(b []byte) []byte {
+	return tcptransport.AppendU32(b, uint32(int32(m.VMID)))
+}
+
+func decodeRemoved(r *tcptransport.Reader) (any, error) {
+	m := removedMsg{VMID: int(int32(r.U32()))}
+	return m, r.Err()
+}
+
+type scanMsg struct {
+	NowNS int64
+}
+
+func (m scanMsg) AppendWire(b []byte) []byte { return tcptransport.AppendI64(b, m.NowNS) }
+
+func decodeScan(r *tcptransport.Reader) (any, error) {
+	m := scanMsg{NowNS: r.I64()}
+	return m, r.Err()
+}
+
+// migReqEntry is one server's migration request out of a scan tick.
+type migReqEntry struct {
+	Server int32
+	VMID   int32
+	High   bool
+	U      float64
+}
+
+// scandoneMsg is one node's scan outcome: servers it hibernated (drained
+// empty past the grace period) and the migration requests its servers drew.
+type scandoneMsg struct {
+	Node       int
+	Hibernated []int32
+	MigReqs    []migReqEntry
+}
+
+func (m scandoneMsg) AppendWire(b []byte) []byte {
+	b = tcptransport.AppendU32(b, uint32(int32(m.Node)))
+	b = tcptransport.AppendU32(b, uint32(len(m.Hibernated)))
+	for _, id := range m.Hibernated {
+		b = tcptransport.AppendU32(b, uint32(id))
+	}
+	b = tcptransport.AppendU32(b, uint32(len(m.MigReqs)))
+	for _, mr := range m.MigReqs {
+		b = tcptransport.AppendU32(b, uint32(mr.Server))
+		b = tcptransport.AppendU32(b, uint32(mr.VMID))
+		var h uint8
+		if mr.High {
+			h = 1
+		}
+		b = tcptransport.AppendU8(b, h)
+		b = tcptransport.AppendF64(b, mr.U)
+	}
+	return b
+}
+
+func decodeScandone(r *tcptransport.Reader) (any, error) {
+	m := scandoneMsg{Node: int(int32(r.U32()))}
+	nh := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nh > r.Len()/4 {
+		nh = r.Len()/4 + 1
+	}
+	for i := 0; i < nh; i++ {
+		m.Hibernated = append(m.Hibernated, int32(r.U32()))
+	}
+	nm := int(r.U32())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nm > r.Len()/17 {
+		nm = r.Len()/17 + 1
+	}
+	for i := 0; i < nm; i++ {
+		m.MigReqs = append(m.MigReqs, migReqEntry{
+			Server: int32(r.U32()), VMID: int32(r.U32()),
+			High: r.U8() != 0, U: r.F64(),
+		})
+	}
+	return m, r.Err()
+}
+
+type wakeMsg struct {
+	Server int
+	NowNS  int64
+}
+
+func (m wakeMsg) AppendWire(b []byte) []byte {
+	b = tcptransport.AppendU32(b, uint32(int32(m.Server)))
+	return tcptransport.AppendI64(b, m.NowNS)
+}
+
+func decodeWake(r *tcptransport.Reader) (any, error) {
+	m := wakeMsg{Server: int(int32(r.U32())), NowNS: r.I64()}
+	return m, r.Err()
+}
+
+type wokenMsg struct {
+	Server int
+}
+
+func (m wokenMsg) AppendWire(b []byte) []byte {
+	return tcptransport.AppendU32(b, uint32(int32(m.Server)))
+}
+
+func decodeWoken(r *tcptransport.Reader) (any, error) {
+	m := wokenMsg{Server: int(int32(r.U32()))}
+	return m, r.Err()
+}
+
+// migrateMsg orders the source shard to start a live migration.
+type migrateMsg struct {
+	VMID       int
+	DestNode   int
+	DestServer int
+	High       bool
+	NowNS      int64
+}
+
+func (m migrateMsg) AppendWire(b []byte) []byte {
+	b = tcptransport.AppendU32(b, uint32(int32(m.VMID)))
+	b = tcptransport.AppendU32(b, uint32(int32(m.DestNode)))
+	b = tcptransport.AppendU32(b, uint32(int32(m.DestServer)))
+	var h uint8
+	if m.High {
+		h = 1
+	}
+	b = tcptransport.AppendU8(b, h)
+	return tcptransport.AppendI64(b, m.NowNS)
+}
+
+func decodeMigrate(r *tcptransport.Reader) (any, error) {
+	m := migrateMsg{VMID: int(int32(r.U32())), DestNode: int(int32(r.U32())), DestServer: int(int32(r.U32()))}
+	m.High = r.U8() != 0
+	m.NowNS = r.I64()
+	return m, r.Err()
+}
+
+// transferMsg is the live migration on the wire, shard to shard. The VM's
+// RAM is declared in the frame's Size, not shipped: every node regenerates
+// the workload from the shared seed, so the VM's identity suffices.
+type transferMsg struct {
+	VMID       int
+	DestServer int
+	High       bool
+	NowNS      int64
+}
+
+func (m transferMsg) AppendWire(b []byte) []byte {
+	b = tcptransport.AppendU32(b, uint32(int32(m.VMID)))
+	b = tcptransport.AppendU32(b, uint32(int32(m.DestServer)))
+	var h uint8
+	if m.High {
+		h = 1
+	}
+	b = tcptransport.AppendU8(b, h)
+	return tcptransport.AppendI64(b, m.NowNS)
+}
+
+func decodeTransfer(r *tcptransport.Reader) (any, error) {
+	m := transferMsg{VMID: int(int32(r.U32())), DestServer: int(int32(r.U32()))}
+	m.High = r.U8() != 0
+	m.NowNS = r.I64()
+	return m, r.Err()
+}
+
+// cutoverMsg tells the source shard the destination runs the VM: drop the
+// copy still on SrcServer. Until cutover the VM keeps running at the source
+// (the paper: live migrations are asynchronous), which is also what makes a
+// dropped TRANSFER recoverable — the driver just never sends the cutover.
+// SrcServer scopes the removal: an intra-shard migration already moved the
+// VM off the source when the transfer landed, and the cutover must not
+// touch the destination copy.
+type cutoverMsg struct {
+	VMID      int
+	SrcServer int
+	NowNS     int64
+}
+
+func (m cutoverMsg) AppendWire(b []byte) []byte {
+	b = tcptransport.AppendU32(b, uint32(int32(m.VMID)))
+	b = tcptransport.AppendU32(b, uint32(int32(m.SrcServer)))
+	return tcptransport.AppendI64(b, m.NowNS)
+}
+
+func decodeCutover(r *tcptransport.Reader) (any, error) {
+	m := cutoverMsg{VMID: int(int32(r.U32())), SrcServer: int(int32(r.U32())), NowNS: r.I64()}
+	return m, r.Err()
+}
+
+// migratedMsg acks a completed (or moot) migration to the driver.
+type migratedMsg struct {
+	VMID      int
+	Server    int // destination global server ID
+	OK        bool
+	Activated bool // defensive cutover woke the destination
+}
+
+func (m migratedMsg) AppendWire(b []byte) []byte {
+	b = tcptransport.AppendU32(b, uint32(int32(m.VMID)))
+	b = tcptransport.AppendU32(b, uint32(int32(m.Server)))
+	var f uint8
+	if m.OK {
+		f |= 1
+	}
+	if m.Activated {
+		f |= 2
+	}
+	return tcptransport.AppendU8(b, f)
+}
+
+func decodeMigrated(r *tcptransport.Reader) (any, error) {
+	m := migratedMsg{VMID: int(int32(r.U32())), Server: int(int32(r.U32()))}
+	f := r.U8()
+	m.OK = f&1 != 0
+	m.Activated = f&2 != 0
+	return m, r.Err()
+}
+
+type utilQueryMsg struct {
+	NowNS int64
+}
+
+func (m utilQueryMsg) AppendWire(b []byte) []byte { return tcptransport.AppendI64(b, m.NowNS) }
+
+func decodeUtilQuery(r *tcptransport.Reader) (any, error) {
+	m := utilQueryMsg{NowNS: r.I64()}
+	return m, r.Err()
+}
+
+// utilBestMsg reports a node's least-utilized active server (saturation
+// fallback: everything is full, degrade onto the least-loaded machine).
+type utilBestMsg struct {
+	Node   int
+	Has    bool
+	Server int
+	U      float64
+}
+
+func (m utilBestMsg) AppendWire(b []byte) []byte {
+	b = tcptransport.AppendU32(b, uint32(int32(m.Node)))
+	var h uint8
+	if m.Has {
+		h = 1
+	}
+	b = tcptransport.AppendU8(b, h)
+	b = tcptransport.AppendU32(b, uint32(int32(m.Server)))
+	return tcptransport.AppendF64(b, m.U)
+}
+
+func decodeUtilBest(r *tcptransport.Reader) (any, error) {
+	m := utilBestMsg{Node: int(int32(r.U32()))}
+	m.Has = r.U8() != 0
+	m.Server = int(int32(r.U32()))
+	m.U = r.F64()
+	return m, r.Err()
+}
+
+type doneMsg struct {
+	HorizonNS int64
+}
+
+func (m doneMsg) AppendWire(b []byte) []byte { return tcptransport.AppendI64(b, m.HorizonNS) }
+
+func decodeDone(r *tcptransport.Reader) (any, error) {
+	m := doneMsg{HorizonNS: r.I64()}
+	return m, r.Err()
+}
+
+// summaryMsg is one node's run totals, merged by the driver into the
+// cluster summary figure.
+type summaryMsg struct {
+	Node          int
+	Placements    int64
+	Removals      int64
+	MigrationsIn  int64
+	MigrationsOut int64
+	Hibernates    int64
+	Activations   int64
+	FinalActive   int64
+	EnergyKWh     float64
+	MsgsSent      int64
+	BytesSent     int64
+}
+
+func (m summaryMsg) AppendWire(b []byte) []byte {
+	b = tcptransport.AppendU32(b, uint32(int32(m.Node)))
+	b = tcptransport.AppendI64(b, m.Placements)
+	b = tcptransport.AppendI64(b, m.Removals)
+	b = tcptransport.AppendI64(b, m.MigrationsIn)
+	b = tcptransport.AppendI64(b, m.MigrationsOut)
+	b = tcptransport.AppendI64(b, m.Hibernates)
+	b = tcptransport.AppendI64(b, m.Activations)
+	b = tcptransport.AppendI64(b, m.FinalActive)
+	b = tcptransport.AppendF64(b, m.EnergyKWh)
+	b = tcptransport.AppendI64(b, m.MsgsSent)
+	b = tcptransport.AppendI64(b, m.BytesSent)
+	return b
+}
+
+func decodeSummary(r *tcptransport.Reader) (any, error) {
+	m := summaryMsg{
+		Node:       int(int32(r.U32())),
+		Placements: r.I64(), Removals: r.I64(),
+		MigrationsIn: r.I64(), MigrationsOut: r.I64(),
+		Hibernates: r.I64(), Activations: r.I64(),
+		FinalActive: r.I64(), EnergyKWh: r.F64(),
+		MsgsSent: r.I64(), BytesSent: r.I64(),
+	}
+	return m, r.Err()
+}
+
+// BuildCodec registers every ecod message kind.
+func BuildCodec() *tcptransport.Codec {
+	c := tcptransport.NewCodec()
+	c.Register(kindInvite, decodeInvite)
+	c.Register(kindReply, decodeReply)
+	c.Register(kindAssign, decodeAssign)
+	c.Register(kindAssigned, decodeAssigned)
+	c.Register(kindRemove, decodeRemove)
+	c.Register(kindRemoved, decodeRemoved)
+	c.Register(kindScan, decodeScan)
+	c.Register(kindScandone, decodeScandone)
+	c.Register(kindWake, decodeWake)
+	c.Register(kindWoken, decodeWoken)
+	c.Register(kindMigrate, decodeMigrate)
+	c.Register(kindTransfer, decodeTransfer)
+	c.Register(kindCutover, decodeCutover)
+	c.Register(kindMigrated, decodeMigrated)
+	c.Register(kindUtilQuery, decodeUtilQuery)
+	c.Register(kindUtilBest, decodeUtilBest)
+	c.Register(kindDone, decodeDone)
+	c.Register(kindSummary, decodeSummary)
+	return c
+}
+
+// vt converts a wire timestamp back to virtual time.
+func vt(ns int64) time.Duration { return time.Duration(ns) }

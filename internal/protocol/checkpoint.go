@@ -64,6 +64,9 @@ type clusterState struct {
 // MarshalCheckpoint implements checkpoint.Checkpointable. It fails while an
 // invitation round is open (see the limitation note above).
 func (c *Cluster) MarshalCheckpoint() (json.RawMessage, error) {
+	if c.nsim == nil {
+		return nil, fmt.Errorf("protocol: checkpointing requires the netsim fabric; an external transport's in-flight state is not serializable")
+	}
 	if len(c.rounds) > 0 {
 		return nil, fmt.Errorf("protocol: %d invitation rounds open; checkpoint at a quiescent instant", len(c.rounds))
 	}
@@ -71,8 +74,8 @@ func (c *Cluster) MarshalCheckpoint() (json.RawMessage, error) {
 		NextRound: c.nextRound,
 		NextGroup: c.nextGroup,
 		Stats:     c.Stats,
-		NetSent:   c.net.Sent,
-		NetBytes:  c.net.Bytes,
+		NetSent:   c.nsim.Sent,
+		NetBytes:  c.nsim.Bytes,
 	}
 	for vm := range c.inflight {
 		st.Inflight = append(st.Inflight, vm)
@@ -106,11 +109,14 @@ func (c *Cluster) UnmarshalCheckpoint(raw json.RawMessage) error {
 			return fmt.Errorf("protocol: checkpoint state: %w", err)
 		}
 	}
+	if c.nsim == nil {
+		return fmt.Errorf("protocol: checkpoint restore requires the netsim fabric")
+	}
 	c.nextRound = st.NextRound
 	c.nextGroup = st.NextGroup
 	c.Stats = st.Stats
-	c.net.Sent = st.NetSent
-	c.net.Bytes = st.NetBytes
+	c.nsim.Sent = st.NetSent
+	c.nsim.Bytes = st.NetBytes
 	c.inflight = make(map[int]bool, len(st.Inflight))
 	for _, vm := range st.Inflight {
 		c.inflight[vm] = true
@@ -130,7 +136,7 @@ func (c *Cluster) UnmarshalCheckpoint(raw json.RawMessage) error {
 func (c *Cluster) RegisterStreams(reg *rng.Registry) {
 	reg.Add(masterStream, c.master)
 	reg.Add(managerStream, c.mgr)
-	reg.Add(netStream, c.net.RNG())
+	reg.Add(netStream, c.nsim.RNG())
 	ids := make([]int, 0, len(c.servers))
 	for id := range c.servers {
 		ids = append(ids, id)
@@ -147,7 +153,7 @@ func (c *Cluster) AdoptStreams(states map[string]rng.State) error {
 	reg := rng.NewRegistry()
 	reg.Add(masterStream, c.master)
 	reg.Add(managerStream, c.mgr)
-	reg.Add(netStream, c.net.RNG())
+	reg.Add(netStream, c.nsim.RNG())
 	for label := range states {
 		if !strings.HasPrefix(label, serverStreamPrefix) {
 			if label == masterStream || label == managerStream || label == netStream {

@@ -303,8 +303,13 @@ type Cluster struct {
 	fa  ecocloud.AssignProbFunc
 
 	eng *sim.Engine
-	net *netsim.Network
-	dc  *dc.DataCenter
+	// net is the message fabric every send goes through. nsim is non-nil
+	// only when the cluster was built over the simulated fabric (New); the
+	// checkpoint layer needs the concrete network for its traffic counters
+	// and jitter stream, neither of which a foreign transport has.
+	net  Transport
+	nsim *netsim.Network
+	dc   *dc.DataCenter
 
 	mgr     *rng.Source
 	master  *rng.Source
@@ -362,23 +367,64 @@ type pendingWake struct {
 	count    int
 }
 
-// New builds a protocol cluster over the given fleet. Servers start
-// hibernated, exactly as in the cluster driver.
+// New builds a protocol cluster over the given fleet on the simulated
+// netsim fabric. Servers start hibernated, exactly as in the cluster driver.
 func New(cfg Config, specs []dc.Spec, seed uint64) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	master := rng.New(seed)
+	eng := sim.New()
+	nsim := netsim.New(eng, cfg.Latency, master.Split("net"))
+	nsim.SetImpairments(cfg.Impairments)
+	c, err := newOn(cfg, specs, master, eng, nsim)
+	if err != nil {
+		return nil, err
+	}
+	c.nsim = nsim
+	return c, nil
+}
+
+// NewOnTransport builds a protocol cluster over an externally owned
+// Transport. The caller keeps responsibility for the transport's lifecycle
+// and for honouring the Transport contract (serial handler invocation);
+// impairments, when wanted, are the transport's own business, so
+// cfg.Impairments must be zero. Checkpointing is only supported on the
+// netsim fabric (New): a foreign transport's in-flight state is not
+// serializable.
+func NewOnTransport(cfg Config, specs []dc.Spec, seed uint64, tr Transport) (*Cluster, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("protocol: nil transport")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Impairments.Enabled() {
+		return nil, fmt.Errorf("protocol: impairments on an external transport belong to the transport")
+	}
+	if n, ok := tr.(*netsim.Network); ok {
+		c, err := newOn(cfg, specs, rng.New(seed), sim.New(), tr)
+		if err != nil {
+			return nil, err
+		}
+		c.nsim = n
+		return c, nil
+	}
+	return newOn(cfg, specs, rng.New(seed), sim.New(), tr)
+}
+
+// newOn is the shared constructor body: wire the manager, the servers, the
+// fabric and the data center together.
+func newOn(cfg Config, specs []dc.Spec, master *rng.Source, eng *sim.Engine, tr Transport) (*Cluster, error) {
 	fa, err := ecocloud.NewAssignProb(cfg.Ta, cfg.P)
 	if err != nil {
 		return nil, err
 	}
-	master := rng.New(seed)
-	eng := sim.New()
 	c := &Cluster{
 		cfg:          cfg,
 		fa:           fa,
 		eng:          eng,
-		net:          netsim.New(eng, cfg.Latency, master.Split("net")),
+		net:          tr,
 		dc:           dc.New(specs),
 		mgr:          master.Split("manager"),
 		master:       master,
@@ -388,7 +434,6 @@ func New(cfg Config, specs []dc.Spec, seed uint64) (*Cluster, error) {
 		pendingMig:   make(map[int]time.Duration),
 		pendingWakes: make(map[int]*pendingWake),
 	}
-	c.net.SetImpairments(cfg.Impairments)
 	c.net.Register(managerNode, c.onManagerMessage)
 	for _, s := range c.dc.Servers {
 		s := s
@@ -433,10 +478,10 @@ func (c *Cluster) Close() { c.pool.Close() }
 func (c *Cluster) DC() *dc.DataCenter { return c.dc }
 
 // MessagesSent returns the number of wire transmissions so far.
-func (c *Cluster) MessagesSent() int { return c.net.Sent }
+func (c *Cluster) MessagesSent() int { sent, _ := c.net.Stats(); return sent }
 
 // BytesSent returns the bytes delivered so far.
-func (c *Cluster) BytesSent() int64 { return c.net.Bytes }
+func (c *Cluster) BytesSent() int64 { _, bytes := c.net.Stats(); return bytes }
 
 // serverSrc returns server id's private stream.
 func (c *Cluster) serverSrc(id int) *rng.Source {
